@@ -1,0 +1,239 @@
+// Package repro's root benchmark harness regenerates every results
+// figure of the paper (Figures 1 and 3–9) and times the ablations called
+// out in DESIGN.md. Each BenchmarkFigN target runs the corresponding
+// experiment end-to-end on a shared reduced campaign and logs the
+// headline paper-vs-measured numbers (visible with `go test -bench
+// -v`); absolute timings document the cost of each experiment.
+//
+// The full paper-scale regeneration is `go run ./cmd/experiments`.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/distrep"
+	"repro/internal/measure"
+	"repro/internal/ml/knn"
+	"repro/internal/perfsim"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+var (
+	benchOnce sync.Once
+	benchDB   *measure.Database
+	benchErr  error
+)
+
+// benchCampaign collects the shared reduced campaign used by all
+// benchmarks: every Table I benchmark on both systems, 200 distribution
+// runs and 110 probe runs each (enough for the Figure 6 sweep).
+func benchCampaign(b *testing.B) *measure.Database {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchDB, benchErr = measure.Collect(
+			[]*perfsim.System{perfsim.NewIntelSystem(), perfsim.NewAMDSystem()},
+			perfsim.TableI(),
+			measure.Config{Runs: 200, ProbeRuns: 110, Seed: 1},
+		)
+	})
+	if benchErr != nil {
+		b.Fatalf("campaign: %v", benchErr)
+	}
+	return benchDB
+}
+
+// benchOpts keeps the ensembles small enough for a single-core bench run
+// while preserving every comparison the figures make.
+func benchOpts() report.Options {
+	return report.Options{
+		Seed: 1, Samples: 10, Bins: 30,
+		ForestTrees: 20, XGBRounds: 10, XGBDepth: 2,
+		SweepSamples: []int{1, 2, 5, 10, 25, 100},
+	}
+}
+
+// runFigure is the shared driver: regenerate the figure b.N times and
+// log its headlines once.
+func runFigure(b *testing.B, id string) {
+	db := benchCampaign(b)
+	fig := report.Figures()[id]
+	if fig == nil {
+		b.Fatalf("unknown figure %s", id)
+	}
+	b.ResetTimer()
+	var last *report.Result
+	for i := 0; i < b.N; i++ {
+		r, err := fig(db, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.StopTimer()
+	for _, h := range last.Headlines {
+		paper := "-"
+		if h.Paper != 0 {
+			paper = fmt.Sprintf("%.3f", h.Paper)
+		}
+		b.Logf("%s: paper=%s measured=%.3f", h.Name, paper, h.Measured)
+	}
+}
+
+// BenchmarkFig1SampleSizes regenerates Figure 1: SPEC OMP 376 measured
+// from 1,000/2/3/5/10 samples and predicted from 10.
+func BenchmarkFig1SampleSizes(b *testing.B) { runFigure(b, "fig1") }
+
+// BenchmarkFig3AllDistributions regenerates Figure 3: the relative-time
+// distributions of all 60 benchmarks on the Intel system.
+func BenchmarkFig3AllDistributions(b *testing.B) { runFigure(b, "fig3") }
+
+// BenchmarkFig4RepsModels regenerates Figure 4: UC1 KS violins for every
+// representation × model combination.
+func BenchmarkFig4RepsModels(b *testing.B) { runFigure(b, "fig4") }
+
+// BenchmarkFig5Overlays regenerates Figure 5: UC1 predicted-vs-actual
+// overlays across the KS spectrum.
+func BenchmarkFig5Overlays(b *testing.B) { runFigure(b, "fig5") }
+
+// BenchmarkFig6SampleSweep regenerates Figure 6: UC1 KS as a function of
+// the number of profile runs.
+func BenchmarkFig6SampleSweep(b *testing.B) { runFigure(b, "fig6") }
+
+// BenchmarkFig7CrossSystem regenerates Figure 7: UC2 KS violins
+// (AMD → Intel) for every representation × model combination.
+func BenchmarkFig7CrossSystem(b *testing.B) { runFigure(b, "fig7") }
+
+// BenchmarkFig8Direction regenerates Figure 8: UC2 KS for both
+// prediction directions.
+func BenchmarkFig8Direction(b *testing.B) { runFigure(b, "fig8") }
+
+// BenchmarkFig9Overlays regenerates Figure 9: UC2 predicted-vs-actual
+// overlays (AMD → Intel).
+func BenchmarkFig9Overlays(b *testing.B) { runFigure(b, "fig9") }
+
+// ---- Ablations (DESIGN.md section 5) ----
+
+// uc1Mean evaluates UC1 with kNN + PearsonRnd under a config mutation
+// and returns the mean KS.
+func uc1Mean(b *testing.B, mutate func(*core.UC1Config)) float64 {
+	db := benchCampaign(b)
+	intel, ok := db.System("intel")
+	if !ok {
+		b.Fatal("intel system missing")
+	}
+	cfg := core.UC1Config{
+		Rep: distrep.PearsonRnd, Model: core.KNN, NumSamples: 10, Seed: 1,
+	}
+	mutate(&cfg)
+	scores, err := core.EvaluateUC1(intel, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return stats.Mean(core.KSValues(scores))
+}
+
+// BenchmarkAblationKNNMetric compares the paper's cosine distance with
+// Euclidean and Manhattan (the paper reports cosine winning).
+func BenchmarkAblationKNNMetric(b *testing.B) {
+	metrics := []knn.Metric{knn.Cosine, knn.Euclidean, knn.Manhattan}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range metrics {
+			mean := uc1Mean(b, func(c *core.UC1Config) {
+				c.Models.KNNMetric = m
+				c.Models.KNNMetricSet = true
+			})
+			if i == b.N-1 {
+				b.Logf("kNN metric %-9s: mean KS = %.3f", m, mean)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationKNNK sweeps k around the paper's k = 15.
+func BenchmarkAblationKNNK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, k := range []int{1, 5, 15, 30, 59} {
+			mean := uc1Mean(b, func(c *core.UC1Config) { c.Models.KNNK = k })
+			if i == b.N-1 {
+				b.Logf("kNN k=%-3d: mean KS = %.3f", k, mean)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationFeatureMoments compares the full 4-moment profile
+// features with mean-only features (the paper found moments beyond the
+// fourth insignificant; this probes the other direction).
+func BenchmarkAblationFeatureMoments(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		full := uc1Mean(b, func(c *core.UC1Config) {})
+		meanOnly := uc1Mean(b, func(c *core.UC1Config) { c.FeatureMeanOnly = true })
+		if i == b.N-1 {
+			b.Logf("profile features: 4 moments = %.3f, mean-only = %.3f", full, meanOnly)
+		}
+	}
+}
+
+// BenchmarkAblationHistogramBins sweeps the Histogram representation's
+// bin count.
+func BenchmarkAblationHistogramBins(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, bins := range []int{10, 30, 50, 100} {
+			mean := uc1Mean(b, func(c *core.UC1Config) {
+				c.Rep = distrep.Histogram
+				c.Bins = bins
+			})
+			if i == b.N-1 {
+				b.Logf("histogram bins=%-3d: mean KS = %.3f", bins, mean)
+			}
+		}
+	}
+}
+
+// ---- Extension experiments (DESIGN.md and the paper's future work) ----
+
+// BenchmarkExt1ModelBaselines runs the extended model comparison
+// including the Ridge linear baseline.
+func BenchmarkExt1ModelBaselines(b *testing.B) { runExtension(b, "ext1") }
+
+// BenchmarkExt2QuantileRepresentation runs the extended representation
+// comparison including the Quantile representation.
+func BenchmarkExt2QuantileRepresentation(b *testing.B) { runExtension(b, "ext2") }
+
+// BenchmarkExt3DivergenceRobustness rescores the headline comparison
+// under four additional divergences.
+func BenchmarkExt3DivergenceRobustness(b *testing.B) { runExtension(b, "ext3") }
+
+// BenchmarkExt4AdaptiveCost compares the fixed prediction budget with
+// the adaptive stopping rule's measured run cost.
+func BenchmarkExt4AdaptiveCost(b *testing.B) { runExtension(b, "ext4") }
+
+// BenchmarkExt5FeatureImportance computes the random-forest gain
+// importance of the profile metrics.
+func BenchmarkExt5FeatureImportance(b *testing.B) { runExtension(b, "ext5") }
+
+func runExtension(b *testing.B, id string) {
+	db := benchCampaign(b)
+	fig := report.Extensions()[id]
+	if fig == nil {
+		b.Fatalf("unknown extension %s", id)
+	}
+	b.ResetTimer()
+	var last *report.Result
+	for i := 0; i < b.N; i++ {
+		r, err := fig(db, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.StopTimer()
+	for _, h := range last.Headlines {
+		b.Logf("%s: measured=%.3f", h.Name, h.Measured)
+	}
+}

@@ -1,0 +1,71 @@
+// Command varcollect runs the measurement campaign — every Table I
+// benchmark, both systems, a configurable number of repetitions — and
+// persists the resulting database for the other tools.
+//
+// Usage:
+//
+//	varcollect -out campaign.gob.gz [-runs 1000] [-probes 120] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/measure"
+	"repro/internal/perfsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("varcollect: ")
+	var (
+		out    = flag.String("out", "campaign.gob.gz", "output database path")
+		runs   = flag.Int("runs", 1000, "distribution-measurement runs per benchmark (the paper uses 1000)")
+		probes = flag.Int("probes", 120, "extra probe runs per benchmark for few-run profiles")
+		seed   = flag.Uint64("seed", 1, "campaign seed")
+		csvDir = flag.String("csv", "", "also export per-system relative-time CSVs into this directory")
+	)
+	flag.Parse()
+
+	systems := []*perfsim.System{perfsim.NewIntelSystem(), perfsim.NewAMDSystem()}
+	workloads := perfsim.TableI()
+	fmt.Printf("collecting %d runs + %d probes for %d benchmarks on %d systems (seed %d)...\n",
+		*runs, *probes, len(workloads), len(systems), *seed)
+	start := time.Now()
+	db, err := measure.Collect(systems, workloads, measure.Config{
+		Runs: *runs, ProbeRuns: *probes, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s in %v\n", *out, time.Since(start).Round(time.Millisecond))
+	for i := range db.Systems {
+		sd := &db.Systems[i]
+		fmt.Printf("  system %-6s: %d benchmarks x %d runs, %d metrics each\n",
+			sd.SystemName, len(sd.Benchmarks), *runs, len(sd.MetricNames))
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(*csvDir, "reltimes_"+sd.SystemName+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := sd.ExportRelTimesCSV(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  wrote %s\n", path)
+		}
+	}
+}

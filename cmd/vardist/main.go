@@ -1,0 +1,98 @@
+// Command vardist inspects the measured performance distribution of one
+// benchmark on one system: density plot, summary statistics, mode count,
+// Pearson-type classification, and straggler-tail diagnostics. It is the
+// "look at one application closely" companion to cmd/experiments.
+//
+// Usage:
+//
+//	vardist -bench specomp/376 [-system intel] [-runs 1000]
+//	vardist -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/pearson"
+	"repro/internal/perfsim"
+	"repro/internal/randx"
+	"repro/internal/stats"
+	"repro/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vardist: ")
+	var (
+		benchID = flag.String("bench", "specomp/376", "benchmark to inspect (suite/name)")
+		sysName = flag.String("system", "intel", "system (intel | amd)")
+		runs    = flag.Int("runs", 1000, "number of measured runs")
+		seed    = flag.Uint64("seed", 1, "measurement seed")
+		list    = flag.Bool("list", false, "list all Table I benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		ws := perfsim.TableI()
+		ids := make([]string, len(ws))
+		for i, w := range ws {
+			ids[i] = w.ID()
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var system *perfsim.System
+	switch *sysName {
+	case "intel":
+		system = perfsim.NewIntelSystem()
+	case "amd":
+		system = perfsim.NewAMDSystem()
+	default:
+		log.Fatalf("unknown system %q (want intel or amd)", *sysName)
+	}
+	w, ok := perfsim.FindWorkload(*benchID)
+	if !ok {
+		log.Fatalf("unknown benchmark %q (use -list)", *benchID)
+	}
+
+	bench := perfsim.NewMachine(system).Bench(w)
+	rel := stats.Normalize(bench.Dist.SampleN(randx.New(*seed), *runs))
+	m := stats.ComputeMoments4(rel)
+	modes := stats.NewKDE(rel).CountModes(1024, 0.08)
+
+	fmt.Println(viz.DensityPlot(rel, 72, 12,
+		fmt.Sprintf("%s on %s — relative time, %d runs", *benchID, system.Name, *runs)))
+
+	ptype := "infeasible"
+	if ty, err := pearson.Classify(m.Skew, m.Kurt); err == nil {
+		ptype = ty.String()
+	}
+	// Overlay the Pearson fit with the measured sample: how much of the
+	// shape do four moments retain for this benchmark?
+	if fit, err := pearson.New(m); err == nil {
+		fitted := fit.SampleN(randx.New(*seed^0xBEEF), len(rel))
+		fmt.Println(viz.OverlayPlot(rel, fitted, 72, 10,
+			fmt.Sprintf("Pearson %s fit vs measured (KS=%.3f)",
+				fit.PType, stats.KSStatistic(rel, fitted))))
+	}
+	qs := stats.Quantiles(rel, []float64{0.01, 0.25, 0.5, 0.75, 0.95, 0.99})
+	fmt.Println(viz.Table([][]string{
+		{"quantity", "value"},
+		{"mean seconds", fmt.Sprintf("%.3f", bench.Dist.MeanSeconds())},
+		{"relative std", fmt.Sprintf("%.4f", m.Std)},
+		{"skewness", fmt.Sprintf("%.3f", m.Skew)},
+		{"kurtosis", fmt.Sprintf("%.3f", m.Kurt)},
+		{"KDE modes", fmt.Sprint(modes)},
+		{"ground-truth modes", fmt.Sprint(bench.Dist.NumModes())},
+		{"Pearson type of (skew, kurt)", ptype},
+		{"p1 / p25 / p50", fmt.Sprintf("%.4f / %.4f / %.4f", qs[0], qs[1], qs[2])},
+		{"p75 / p95 / p99", fmt.Sprintf("%.4f / %.4f / %.4f", qs[3], qs[4], qs[5])},
+		{"p99/p50 (tail ratio)", fmt.Sprintf("%.4f", qs[5]/qs[2])},
+	}))
+}

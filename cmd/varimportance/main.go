@@ -1,0 +1,109 @@
+// Command varimportance reports which perf-counter metrics a random
+// forest relies on when predicting performance distributions (use
+// case 1): per-metric gain importance with the four per-metric moment
+// features aggregated. It answers "which counters should I collect if I
+// can only afford a few?".
+//
+// Usage:
+//
+//	varimportance [-system intel] [-samples 10] [-top 20] [-runs 400]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/distrep"
+	"repro/internal/measure"
+	"repro/internal/perfsim"
+	"repro/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("varimportance: ")
+	var (
+		dbPath  = flag.String("db", "", "measurement database from varcollect (collected on the fly when empty)")
+		sysName = flag.String("system", "intel", "system (intel | amd)")
+		samples = flag.Int("samples", 10, "profile runs per benchmark")
+		top     = flag.Int("top", 20, "number of metrics to report")
+		trees   = flag.Int("trees", 100, "forest size")
+		runs    = flag.Int("runs", 400, "on-the-fly campaign size")
+		seed    = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	var db *measure.Database
+	var err error
+	if *dbPath != "" {
+		db, err = measure.Load(*dbPath)
+	} else {
+		fmt.Printf("collecting an on-the-fly campaign (%d runs per benchmark)...\n", *runs)
+		db, err = measure.Collect(
+			[]*perfsim.System{perfsim.NewIntelSystem(), perfsim.NewAMDSystem()},
+			perfsim.TableI(),
+			measure.Config{Runs: *runs, ProbeRuns: 120, Seed: *seed},
+		)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	sd, ok := db.System(*sysName)
+	if !ok {
+		log.Fatalf("database lacks system %q", *sysName)
+	}
+
+	names, imp, err := core.FeatureImportanceUC1(sd, core.UC1Config{
+		Rep: distrep.PearsonRnd, Model: core.RandomForest, NumSamples: *samples,
+		Seed: *seed, Models: core.ModelOptions{ForestTrees: *trees},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	byMetric := map[string]float64{}
+	byMoment := map[string]float64{}
+	for i, name := range names {
+		metric, moment := name, "mean"
+		if cut := strings.LastIndex(name, ":"); cut >= 0 {
+			metric, moment = name[:cut], name[cut+1:]
+		}
+		byMetric[metric] += imp[i]
+		byMoment[moment] += imp[i]
+	}
+	type kv struct {
+		name string
+		v    float64
+	}
+	ranked := make([]kv, 0, len(byMetric))
+	for k, v := range byMetric {
+		ranked = append(ranked, kv{k, v})
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].v != ranked[b].v {
+			return ranked[a].v > ranked[b].v
+		}
+		return ranked[a].name < ranked[b].name
+	})
+	if *top > len(ranked) {
+		*top = len(ranked)
+	}
+	rows := [][]string{{"rank", "metric", "importance"}}
+	for i := 0; i < *top; i++ {
+		rows = append(rows, []string{fmt.Sprint(i + 1), ranked[i].name, fmt.Sprintf("%.4f", ranked[i].v)})
+	}
+	fmt.Printf("top %d metrics driving distribution prediction on %s:\n\n", *top, *sysName)
+	fmt.Println(viz.Table(rows))
+	fmt.Println("importance by feature moment:")
+	fmt.Println(viz.Table([][]string{
+		{"moment", "importance"},
+		{"mean", fmt.Sprintf("%.4f", byMoment["mean"])},
+		{"std", fmt.Sprintf("%.4f", byMoment["std"])},
+		{"skew", fmt.Sprintf("%.4f", byMoment["skew"])},
+		{"kurt", fmt.Sprintf("%.4f", byMoment["kurt"])},
+	}))
+}

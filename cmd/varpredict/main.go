@@ -1,0 +1,117 @@
+// Command varpredict predicts the performance distribution of one
+// benchmark and overlays it against the measured ground truth —
+// the deployment view of both use cases.
+//
+// Usage:
+//
+//	varpredict -bench specomp/376                       # use case 1 on Intel
+//	varpredict -bench parsec/canneal -usecase 2         # AMD → Intel
+//	varpredict -bench npb/bt -rep histogram -model rf   # other designs
+//
+// A measurement database can be reused with -db (see varcollect);
+// otherwise a reduced campaign is collected on the fly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/perfsim"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("varpredict: ")
+	var (
+		dbPath  = flag.String("db", "", "measurement database from varcollect (collected on the fly when empty)")
+		bench   = flag.String("bench", "specomp/376", "benchmark to predict (suite/name)")
+		usecase = flag.Int("usecase", 1, "1 = few runs on the same system; 2 = cross-system")
+		samples = flag.Int("samples", 10, "profile runs for use case 1")
+		repName = flag.String("rep", "pearsonrnd", "distribution representation (histogram | pymaxent | pearsonrnd)")
+		mdlName = flag.String("model", "knn", "prediction model (knn | rf | xgboost)")
+		src     = flag.String("src", "amd", "use case 2 source system")
+		dst     = flag.String("dst", "intel", "use case 2 target system")
+		runs    = flag.Int("runs", 400, "on-the-fly campaign size when -db is not given")
+		seed    = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	rep, err := report.ParseRep(*repName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := report.ParseModel(*mdlName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var db *measure.Database
+	if *dbPath != "" {
+		db, err = measure.Load(*dbPath)
+	} else {
+		fmt.Printf("collecting an on-the-fly campaign (%d runs per benchmark)...\n", *runs)
+		db, err = measure.Collect(
+			[]*perfsim.System{perfsim.NewIntelSystem(), perfsim.NewAMDSystem()},
+			perfsim.TableI(),
+			measure.Config{Runs: *runs, ProbeRuns: 120, Seed: *seed},
+		)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var predicted, actual []float64
+	var title string
+	switch *usecase {
+	case 1:
+		intel, ok := db.System("intel")
+		if !ok {
+			log.Fatal("database lacks the intel system")
+		}
+		predicted, actual, err = core.PredictUC1(intel, *bench, core.UC1Config{
+			Rep: rep, Model: model, NumSamples: *samples, Seed: *seed,
+		})
+		title = fmt.Sprintf("%s on intel, predicted from %d runs (%s + %s)", *bench, *samples, rep, model)
+	case 2:
+		srcSys, ok := db.System(*src)
+		if !ok {
+			log.Fatalf("database lacks system %q", *src)
+		}
+		dstSys, ok := db.System(*dst)
+		if !ok {
+			log.Fatalf("database lacks system %q", *dst)
+		}
+		predicted, actual, err = core.PredictUC2(srcSys, dstSys, *bench, core.UC2Config{
+			Rep: rep, Model: model, Seed: *seed,
+		})
+		title = fmt.Sprintf("%s: %s → %s (%s + %s)", *bench, *src, *dst, rep, model)
+	default:
+		log.Fatalf("unknown use case %d", *usecase)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(viz.OverlayPlot(actual, predicted, 72, 12, title))
+	pm := stats.ComputeMoments4(predicted)
+	am := stats.ComputeMoments4(actual)
+	fmt.Println(viz.Table([][]string{
+		{"", "KS", "W1", "mean", "std", "skew", "kurt", "modes"},
+		{"actual", "", "",
+			fmt.Sprintf("%.4f", am.Mean), fmt.Sprintf("%.4f", am.Std),
+			fmt.Sprintf("%.2f", am.Skew), fmt.Sprintf("%.2f", am.Kurt),
+			fmt.Sprint(stats.NewKDE(actual).CountModes(512, 0.1))},
+		{"predicted",
+			fmt.Sprintf("%.3f", stats.KSStatistic(predicted, actual)),
+			fmt.Sprintf("%.4f", stats.Wasserstein1(predicted, actual)),
+			fmt.Sprintf("%.4f", pm.Mean), fmt.Sprintf("%.4f", pm.Std),
+			fmt.Sprintf("%.2f", pm.Skew), fmt.Sprintf("%.2f", pm.Kurt),
+			fmt.Sprint(stats.NewKDE(predicted).CountModes(512, 0.1))},
+	}))
+}

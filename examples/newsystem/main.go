@@ -1,0 +1,78 @@
+// Newsystem demonstrates use case 2: anticipating how an application's
+// performance distribution will look on a machine you are considering
+// buying, without ever running on it.
+//
+// The story follows the paper's Section III-A2: the vendor of the new
+// (Intel) system publishes the profiles and 1,000-run distributions of a
+// standard benchmark corpus; you run the same corpus on the system you
+// already own (AMD), train a system-to-system model, and feed it your
+// application's AMD measurements.
+//
+//	go run ./examples/newsystem
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/distrep"
+	"repro/internal/measure"
+	"repro/internal/perfsim"
+	"repro/internal/stats"
+	"repro/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("measuring the corpus on the owned (AMD) and candidate (Intel) systems...")
+	db, err := measure.Collect(
+		[]*perfsim.System{perfsim.NewIntelSystem(), perfsim.NewAMDSystem()},
+		perfsim.TableI(),
+		measure.Config{Runs: 400, ProbeRuns: 20, Seed: 23},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	intel, _ := db.System("intel")
+	amd, _ := db.System("amd")
+
+	// Applications whose fate on the new system we want to anticipate.
+	apps := []string{"parsec/canneal", "mllib/correlation", "rodinia/heartwall"}
+	for _, app := range apps {
+		predicted, actual, err := core.PredictUC2(amd, intel, app, core.UC2Config{
+			Rep:   distrep.PearsonRnd,
+			Model: core.KNN,
+			Seed:  23,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srcData, _ := amd.Find(app)
+		srcRel := srcData.RelTimes()
+
+		fmt.Printf("\n=== %s ===\n", app)
+		fmt.Println(viz.OverlayPlot(actual, predicted, 64, 9,
+			"predicted on intel (from AMD measurements) vs measured on intel"))
+		fmt.Println(viz.Table([][]string{
+			{"distribution", "rel-std", "p95", "modes"},
+			{"measured on AMD (input)",
+				fmt.Sprintf("%.4f", stats.StdDev(srcRel)),
+				fmt.Sprintf("%.3f", stats.Quantile(srcRel, 0.95)),
+				fmt.Sprint(stats.NewKDE(srcRel).CountModes(512, 0.1))},
+			{"predicted on Intel",
+				fmt.Sprintf("%.4f", stats.StdDev(predicted)),
+				fmt.Sprintf("%.3f", stats.Quantile(predicted, 0.95)),
+				fmt.Sprint(stats.NewKDE(predicted).CountModes(512, 0.1))},
+			{"measured on Intel (truth)",
+				fmt.Sprintf("%.4f", stats.StdDev(actual)),
+				fmt.Sprintf("%.3f", stats.Quantile(actual, 0.95)),
+				fmt.Sprint(stats.NewKDE(actual).CountModes(512, 0.1))},
+		}))
+		fmt.Printf("KS(predicted, measured) = %.3f\n",
+			stats.KSStatistic(predicted, actual))
+	}
+	fmt.Println("\na buyer can rank candidate systems by predicted tail behavior and")
+	fmt.Println("modality for their own applications before committing to hardware.")
+}

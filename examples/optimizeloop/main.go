@@ -1,0 +1,109 @@
+// Optimizeloop demonstrates the paper's first motivating scenario for
+// use case 1: a developer tuning an application wants to inspect its
+// performance *distribution* after every optimization step — e.g. to
+// check a candidate's fitness for latency-sensitive deployment — but
+// cannot afford 1,000 runs per step. Instead, each step takes 10 runs
+// and predicts the full distribution with a model trained on the
+// benchmark corpus.
+//
+// The "optimization" is simulated as successive variants of a workload
+// whose synchronization pressure and page-allocation sensitivity shrink
+// step by step (think: lock splitting, then NUMA pinning, then huge
+// pages). The predicted distributions expose what a mean would hide:
+// one of the steps removes a slow mode entirely rather than shifting
+// the average.
+//
+//	go run ./examples/optimizeloop
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/distrep"
+	"repro/internal/features"
+	"repro/internal/measure"
+	"repro/internal/ml"
+	"repro/internal/ml/knn"
+	"repro/internal/perfsim"
+	"repro/internal/randx"
+	"repro/internal/stats"
+	"repro/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	system := perfsim.NewIntelSystem()
+	machine := perfsim.NewMachine(system)
+
+	// Train the system-specific predictor once, on the benchmark corpus.
+	fmt.Println("training the distribution predictor on the Table I corpus...")
+	db, err := measure.Collect(
+		[]*perfsim.System{system},
+		perfsim.TableI(),
+		measure.Config{Runs: 400, ProbeRuns: 20, Seed: 11},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	intel, _ := db.System("intel")
+	rep, _ := distrep.New(distrep.PearsonRnd, 0)
+	train := &ml.Dataset{}
+	for i := range intel.Benchmarks {
+		b := &intel.Benchmarks[i]
+		prof, err := features.FromRuns(b.ProbeRuns[:10], intel.MetricNames)
+		if err != nil {
+			log.Fatal(err)
+		}
+		train.X = append(train.X, prof.Values)
+		train.Y = append(train.Y, rep.Encode(b.RelTimes()))
+	}
+	model := knn.New(15)
+	if err := model.Fit(train); err != nil {
+		log.Fatal(err)
+	}
+
+	// The application being tuned: a canneal-like workload. Each
+	// optimization step reduces a different source of variability.
+	app, _ := perfsim.FindWorkload("parsec/canneal")
+	app.Suite, app.Name = "dev", "myapp"
+	steps := []struct {
+		label string
+		apply func(*perfsim.Workload)
+	}{
+		{"baseline", func(w *perfsim.Workload) {}},
+		{"lock splitting (sync 0.35 -> 0.10)", func(w *perfsim.Workload) { w.Sync = 0.10 }},
+		{"NUMA pinning (numa 0.70 -> 0.10)", func(w *perfsim.Workload) { w.NUMASensitivity = 0.10 }},
+		{"huge pages (page 0.60 -> 0.05)", func(w *perfsim.Workload) { w.PageSensitivity = 0.05 }},
+	}
+
+	rng := randx.New(99)
+	variant := app
+	for i, step := range steps {
+		step.apply(&variant)
+		bench := machine.Bench(variant)
+
+		// Ten runs is all each iteration of the loop costs.
+		runs := bench.RunN(rng.Split(), 10)
+		prof, err := features.FromRuns(runs, system.MetricNames)
+		if err != nil {
+			log.Fatal(err)
+		}
+		predicted := rep.Decode(model.Predict(prof.Values), 2000, rng.Split())
+
+		// Ground truth, which the developer would not normally measure.
+		actual := stats.Normalize(bench.Dist.SampleN(rng.Split(), 2000))
+
+		fmt.Printf("\nstep %d: %s\n", i, step.label)
+		fmt.Println(viz.OverlayPlot(actual, predicted, 64, 8, ""))
+		p95 := stats.Quantile(predicted, 0.95)
+		fmt.Printf("  predicted: modes=%d  rel-std=%.4f  p95=%.3f   (true modes=%d, KS=%.3f)\n",
+			stats.NewKDE(predicted).CountModes(512, 0.15),
+			stats.StdDev(predicted), p95,
+			stats.NewKDE(actual).CountModes(512, 0.15),
+			stats.KSStatistic(predicted, actual))
+	}
+	fmt.Println("\nthe multi-modal structure collapses to a tight unimodal distribution —")
+	fmt.Println("information a mean-of-10-runs summary would never reveal.")
+}

@@ -1,0 +1,59 @@
+// Quickstart: predict the full performance distribution of a benchmark
+// on a system from just 10 runs, exactly the paper's headline use case.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/distrep"
+	"repro/internal/measure"
+	"repro/internal/perfsim"
+	"repro/internal/stats"
+	"repro/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Measure a training corpus: many benchmarks, many runs each.
+	//    (On real hardware this is the expensive step the paper's
+	//    predictors amortize; here the perfsim substrate stands in.)
+	fmt.Println("collecting the training corpus (60 benchmarks x 400 runs)...")
+	db, err := measure.Collect(
+		[]*perfsim.System{perfsim.NewIntelSystem()},
+		perfsim.TableI(),
+		measure.Config{Runs: 400, ProbeRuns: 20, Seed: 7},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	intel, _ := db.System("intel")
+
+	// 2. Predict a held-out application's distribution from 10 runs,
+	//    using the paper's best design: PearsonRnd representation + kNN.
+	const app = "specomp/376"
+	predicted, actual, err := core.PredictUC1(intel, app, core.UC1Config{
+		Rep:        distrep.PearsonRnd,
+		Model:      core.KNN,
+		NumSamples: 10,
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Inspect the result: the predicted distribution should recover
+	//    the shape (here: two modes, the larger one faster) without the
+	//    cost of hundreds of runs.
+	fmt.Println(viz.OverlayPlot(actual, predicted, 72, 12,
+		app+" on intel: predicted from 10 runs vs measured from 400"))
+	fmt.Printf("KS divergence: %.3f (0 = perfect match)\n",
+		stats.KSStatistic(predicted, actual))
+	fmt.Printf("measured modes: %d, predicted modes: %d\n",
+		stats.NewKDE(actual).CountModes(512, 0.1),
+		stats.NewKDE(predicted).CountModes(512, 0.1))
+}

@@ -1,0 +1,67 @@
+// Representations compares the paper's three distribution
+// representations (Histogram, PyMaxEnt, PearsonRnd) on the same
+// measured distribution — in isolation from any prediction model — to
+// show each one's intrinsic encode/decode fidelity. This is the
+// structural trade-off underlying Figures 4 and 7: histograms keep
+// multi-modal detail but are high-dimensional (and thus harder to
+// regress), while the 4-moment representations compress to four numbers
+// but can only express unimodal Pearson/max-entropy shapes.
+//
+//	go run ./examples/representations
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/distrep"
+	"repro/internal/perfsim"
+	"repro/internal/randx"
+	"repro/internal/stats"
+	"repro/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	machine := perfsim.NewMachine(perfsim.NewIntelSystem())
+	rng := randx.New(5)
+
+	cases := []string{
+		"specomp/376",          // strongly bimodal
+		"parsec/streamcluster", // long right tail
+		"rodinia/heartwall",    // very narrow unimodal
+	}
+	for _, id := range cases {
+		w, ok := perfsim.FindWorkload(id)
+		if !ok {
+			log.Fatalf("unknown benchmark %s", id)
+		}
+		measured := stats.Normalize(machine.Bench(w).Dist.SampleN(rng.Split(), 3000))
+		fmt.Printf("\n=== %s (measured: %d modes, std %.4f, skew %.2f) ===\n",
+			id,
+			stats.NewKDE(measured).CountModes(512, 0.1),
+			stats.StdDev(measured),
+			stats.Skewness(measured))
+
+		rows := [][]string{{"representation", "dim", "round-trip KS"}}
+		for _, kind := range distrep.Kinds() {
+			rep, err := distrep.New(kind, distrep.DefaultBins)
+			if err != nil {
+				log.Fatal(err)
+			}
+			decoded := rep.Decode(rep.Encode(measured), len(measured), rng.Split())
+			ks := stats.KSStatistic(measured, decoded)
+			rows = append(rows, []string{
+				rep.Name(),
+				fmt.Sprint(rep.Dim()),
+				fmt.Sprintf("%.3f", ks),
+			})
+			fmt.Println(viz.OverlayPlot(measured, decoded, 64, 7,
+				fmt.Sprintf("%s (KS=%.3f)", rep.Name(), ks)))
+		}
+		fmt.Println(viz.Table(rows))
+	}
+	fmt.Println("\nhistograms win on multi-modal shapes; the moment representations win")
+	fmt.Println("when the 4 regressed targets are easier for a model to predict — the")
+	fmt.Println("tension the paper resolves in favor of PearsonRnd + kNN.")
+}

@@ -1,0 +1,137 @@
+// Package adaptive implements the confidence-interval-based adaptive
+// stopping rule for performance measurements that the paper cites as the
+// state of the art for deciding how many runs a benchmark needs (Maricq
+// et al., OSDI'18; Mittal et al., PMBS'23). It is the cost baseline the
+// paper's predictors compete against: instead of predicting a
+// distribution from 10 runs, one can keep measuring until bootstrap
+// confidence intervals for the mean and tail quantile are tight — at a
+// much higher (and benchmark-dependent) run cost.
+//
+// The extension experiment in cmd/experiments compares this measured
+// stopping cost with the fixed 10-run budget of the paper's use case 1.
+package adaptive
+
+import (
+	"fmt"
+
+	"repro/internal/randx"
+	"repro/internal/stats"
+)
+
+// Config tunes the stopping rule.
+type Config struct {
+	// Confidence is the CI level (default 0.95).
+	Confidence float64
+	// RelTol is the target relative half-width of the mean's CI
+	// (default 0.01, i.e. ±1%).
+	RelTol float64
+	// QuantileProbe is the tail quantile whose stability is also
+	// required (default 0.95); set DisableQuantile to skip it.
+	QuantileProbe float64
+	// DisableQuantile turns off the tail-quantile criterion.
+	DisableQuantile bool
+	// QuantileRelTol is the target relative half-width for the probed
+	// quantile's CI (default 0.03).
+	QuantileRelTol float64
+	// MinRuns and MaxRuns bound the procedure (defaults 10 and 1000).
+	MinRuns, MaxRuns int
+	// Batch is the number of additional runs taken per iteration
+	// (default 5).
+	Batch int
+	// Resamples is the bootstrap replicate count (default 200).
+	Resamples int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		c.Confidence = 0.95
+	}
+	if c.RelTol <= 0 {
+		c.RelTol = 0.01
+	}
+	if c.QuantileProbe <= 0 || c.QuantileProbe >= 1 {
+		c.QuantileProbe = 0.95
+	}
+	if c.QuantileRelTol <= 0 {
+		c.QuantileRelTol = 0.03
+	}
+	if c.MinRuns < 3 {
+		c.MinRuns = 10
+	}
+	if c.MaxRuns <= c.MinRuns {
+		c.MaxRuns = 1000
+	}
+	if c.Batch < 1 {
+		c.Batch = 5
+	}
+	if c.Resamples < 50 {
+		c.Resamples = 200
+	}
+	return c
+}
+
+// Result reports the stopping decision.
+type Result struct {
+	// Runs is the number of measurements consumed.
+	Runs int
+	// Converged is false when MaxRuns was hit before the criteria held.
+	Converged bool
+	// MeanCI and QuantileCI are the final intervals.
+	MeanCILo, MeanCIHi         float64
+	QuantileCILo, QuantileCIHi float64
+	// Sample holds all collected measurements.
+	Sample []float64
+}
+
+// Run executes the stopping rule against a measurement source: measure
+// is called for each additional run and returns one duration. rng drives
+// the bootstrap.
+func Run(measure func() float64, cfg Config, rng *randx.RNG) (*Result, error) {
+	if measure == nil {
+		return nil, fmt.Errorf("adaptive: nil measurement source")
+	}
+	c := cfg.withDefaults()
+	res := &Result{}
+	for len(res.Sample) < c.MinRuns {
+		res.Sample = append(res.Sample, measure())
+	}
+	for {
+		res.Runs = len(res.Sample)
+		lo, hi := stats.BootstrapMeanCI(res.Sample, c.Confidence, c.Resamples, rng.Float64)
+		res.MeanCILo, res.MeanCIHi = lo, hi
+		meanOK := stats.HalfWidthRel(lo, hi) <= c.RelTol
+
+		quantOK := true
+		if !c.DisableQuantile {
+			qlo, qhi := bootstrapQuantileCI(res.Sample, c.QuantileProbe, c.Confidence, c.Resamples, rng)
+			res.QuantileCILo, res.QuantileCIHi = qlo, qhi
+			quantOK = stats.HalfWidthRel(qlo, qhi) <= c.QuantileRelTol
+		}
+		if meanOK && quantOK {
+			res.Converged = true
+			return res, nil
+		}
+		if len(res.Sample) >= c.MaxRuns {
+			return res, nil
+		}
+		for b := 0; b < c.Batch && len(res.Sample) < c.MaxRuns; b++ {
+			res.Sample = append(res.Sample, measure())
+		}
+	}
+}
+
+// bootstrapQuantileCI is the percentile bootstrap for a single quantile.
+func bootstrapQuantileCI(xs []float64, p, confidence float64, resamples int, rng *randx.RNG) (lo, hi float64) {
+	n := len(xs)
+	vals := make([]float64, resamples)
+	buf := make([]float64, n)
+	for r := range vals {
+		for i := range buf {
+			buf[i] = xs[rng.IntN(n)]
+		}
+		vals[r] = stats.Quantile(buf, p)
+	}
+	alpha := (1 - confidence) / 2
+	qs := stats.Quantiles(vals, []float64{alpha, 1 - alpha})
+	return qs[0], qs[1]
+}

@@ -1,0 +1,128 @@
+package adaptive
+
+import (
+	"testing"
+
+	"repro/internal/perfsim"
+	"repro/internal/randx"
+)
+
+func TestStopsQuicklyOnNarrowDistribution(t *testing.T) {
+	rng := randx.New(1)
+	src := randx.New(2)
+	res, err := Run(func() float64 { return src.Normal(10, 0.01) }, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("narrow distribution did not converge")
+	}
+	if res.Runs > 60 {
+		t.Errorf("narrow distribution took %d runs, expected few", res.Runs)
+	}
+	if !(res.MeanCILo < 10 && 10 < res.MeanCIHi) {
+		t.Errorf("mean CI [%v, %v] misses 10", res.MeanCILo, res.MeanCIHi)
+	}
+}
+
+func TestNeedsMoreRunsOnWideDistribution(t *testing.T) {
+	rng := randx.New(3)
+	srcNarrow := randx.New(4)
+	srcWide := randx.New(4)
+	narrow, err := Run(func() float64 { return srcNarrow.Normal(10, 0.02) }, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Run(func() float64 { return srcWide.Normal(10, 1.0) }, Config{}, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Runs <= narrow.Runs {
+		t.Errorf("wide (%d runs) should need more than narrow (%d runs)", wide.Runs, narrow.Runs)
+	}
+}
+
+func TestHitsMaxRunsWithoutConvergence(t *testing.T) {
+	rng := randx.New(5)
+	src := randx.New(6)
+	res, err := Run(func() float64 { return src.Lognormal(0, 2) },
+		Config{RelTol: 1e-6, MaxRuns: 50}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("impossible tolerance should not converge")
+	}
+	if res.Runs != 50 {
+		t.Errorf("runs = %d, want exactly MaxRuns", res.Runs)
+	}
+}
+
+func TestQuantileCriterionDelaysStopping(t *testing.T) {
+	// A distribution with a stable mean but jittery tail must require
+	// more runs when the quantile criterion is on.
+	mk := func(seed uint64) func() float64 {
+		src := randx.New(seed)
+		return func() float64 {
+			v := src.Normal(10, 0.05)
+			if src.Float64() < 0.05 {
+				v += src.Uniform(1, 3) // occasional straggler
+			}
+			return v
+		}
+	}
+	rng := randx.New(7)
+	withQ, err := Run(mk(8), Config{QuantileProbe: 0.97, QuantileRelTol: 0.005}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noQ, err := Run(mk(8), Config{DisableQuantile: true}, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withQ.Runs < noQ.Runs {
+		t.Errorf("tail criterion (%d runs) should not stop before mean-only (%d runs)", withQ.Runs, noQ.Runs)
+	}
+}
+
+func TestOnSimulatedBenchmarks(t *testing.T) {
+	// The stopping rule must demand more runs for a wide multimodal
+	// benchmark than for a narrow one — the cost asymmetry motivating
+	// the paper's prediction approach.
+	machine := perfsim.NewMachine(perfsim.NewIntelSystem())
+	runCost := func(id string, seed uint64) int {
+		w, ok := perfsim.FindWorkload(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		bench := machine.Bench(w)
+		src := randx.New(seed)
+		res, err := Run(func() float64 {
+			s, _ := bench.Dist.Sample(src)
+			return s
+		}, Config{MaxRuns: 800}, randx.New(seed^0xABC))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Runs
+	}
+	narrow := runCost("specaccel/359", 11)
+	wide := runCost("specaccel/303", 11)
+	if wide <= narrow {
+		t.Errorf("wide benchmark stopped at %d runs, narrow at %d; expected wide > narrow", wide, narrow)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, Config{}, randx.New(1)); err == nil {
+		t.Error("nil source should fail")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Confidence != 0.95 || c.RelTol != 0.01 || c.MinRuns != 10 ||
+		c.MaxRuns != 1000 || c.Batch != 5 || c.Resamples != 200 {
+		t.Errorf("defaults = %+v", c)
+	}
+}

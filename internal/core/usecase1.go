@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cv"
+	"repro/internal/distrep"
+	"repro/internal/features"
+	"repro/internal/measure"
+	"repro/internal/ml"
+	"repro/internal/ml/forest"
+	"repro/internal/randx"
+	"repro/internal/stats"
+)
+
+// UC1Config parameterizes use case 1: predicting an application's
+// distribution on a system from a few runs on that system.
+type UC1Config struct {
+	// Rep selects the distribution representation.
+	Rep distrep.Kind
+	// Model selects the prediction model.
+	Model Model
+	// NumSamples is the number of runs the profile is built from (the
+	// paper sweeps 1..100 in Figure 6 and uses 10 elsewhere).
+	NumSamples int
+	// Bins is the histogram bin count (0 = default).
+	Bins int
+	// Seed drives all stochastic components.
+	Seed uint64
+	// FeatureMeanOnly restricts profiles to per-metric means (the
+	// feature-moments ablation).
+	FeatureMeanOnly bool
+	// Models tunes model hyperparameters (ablations).
+	Models ModelOptions
+}
+
+func (c UC1Config) String() string {
+	rep, _ := newRepresentation(c.Rep, c.Bins)
+	return fmt.Sprintf("UC1{rep=%s model=%s samples=%d}", rep.Name(), c.Model, c.NumSamples)
+}
+
+// uc1Data is the assembled learning problem for one system.
+type uc1Data struct {
+	dataset *ml.Dataset
+	rep     distrep.Representation
+	// rel holds each benchmark's measured relative times (the 1,000-run
+	// ground truth), aligned with dataset rows.
+	rel [][]float64
+	ids []string
+}
+
+// buildUC1 assembles profiles (from the first NumSamples probe runs) and
+// targets (representation encodings of the measured distributions).
+func buildUC1(sd *measure.SystemData, cfg UC1Config) (*uc1Data, error) {
+	if cfg.NumSamples < 1 {
+		return nil, fmt.Errorf("core: NumSamples must be >= 1, got %d", cfg.NumSamples)
+	}
+	rep, err := newRepresentation(cfg.Rep, cfg.Bins)
+	if err != nil {
+		return nil, err
+	}
+	d := &uc1Data{rep: rep, dataset: &ml.Dataset{}}
+	for i := range sd.Benchmarks {
+		b := &sd.Benchmarks[i]
+		if cfg.NumSamples > len(b.ProbeRuns) {
+			return nil, fmt.Errorf("core: NumSamples=%d exceeds %d probe runs of %s",
+				cfg.NumSamples, len(b.ProbeRuns), b.Workload.ID())
+		}
+		probe := b.ProbeRuns[:cfg.NumSamples]
+		var prof *features.Profile
+		if cfg.FeatureMeanOnly {
+			prof, err = features.MeanOnly(probe, sd.MetricNames)
+		} else {
+			prof, err = features.FromRuns(probe, sd.MetricNames)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: profile of %s: %w", b.Workload.ID(), err)
+		}
+		rel := b.RelTimes()
+		d.dataset.X = append(d.dataset.X, prof.Values)
+		d.dataset.Y = append(d.dataset.Y, rep.Encode(rel))
+		d.rel = append(d.rel, rel)
+		d.ids = append(d.ids, b.Workload.ID())
+		if d.dataset.FeatureNames == nil {
+			d.dataset.FeatureNames = prof.Names
+		}
+	}
+	if err := d.dataset.Validate(); err != nil {
+		return nil, fmt.Errorf("core: UC1 dataset: %w", err)
+	}
+	return d, nil
+}
+
+// EvaluateUC1 runs leave-one-benchmark-out cross-validation of use
+// case 1 on one system's measurements and returns per-benchmark scores
+// in benchmark order.
+func EvaluateUC1(sd *measure.SystemData, cfg UC1Config) ([]BenchScore, error) {
+	data, err := buildUC1(sd, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return evaluateLOGO(data.dataset, data.rel, data.ids, data.rep, cfg.Model, cfg.Models, cfg.Seed)
+}
+
+// PredictUC1 predicts the distribution of one benchmark from its few-run
+// profile, training on all other benchmarks (the deployment scenario and
+// the source of the paper's Figure 1(f) and Figure 5 overlays). It
+// returns the predicted and measured relative-time samples.
+func PredictUC1(sd *measure.SystemData, benchmarkID string, cfg UC1Config) (predicted, actual []float64, err error) {
+	data, err := buildUC1(sd, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return predictHoldout(data.dataset, data.rel, data.ids, data.rep, benchmarkID, cfg.Model, cfg.Models, cfg.Seed)
+}
+
+// evaluateLOGO is the shared LOGO evaluation loop for both use cases.
+func evaluateLOGO(dataset *ml.Dataset, rel [][]float64, ids []string,
+	rep distrep.Representation, model Model, opts ModelOptions, seed uint64) ([]BenchScore, error) {
+
+	splits, err := cv.LeaveOneGroupOut(ids)
+	if err != nil {
+		return nil, err
+	}
+	// Pre-derive one RNG per fold so parallel evaluation stays
+	// deterministic.
+	root := randx.New(seed)
+	rngs := make([]*randx.RNG, len(splits))
+	seeds := make([]uint64, len(splits))
+	for i := range splits {
+		rngs[i] = root.Split()
+		seeds[i] = seed + uint64(i)*0x9E3779B97F4A7C15
+	}
+	scores := make([]BenchScore, len(splits))
+	idx := make(map[string]int, len(splits))
+	for i, s := range splits {
+		idx[s.Group] = i
+	}
+	_, err = cv.EvaluateParallel(splits, func(split cv.Split) ([]float64, error) {
+		i := idx[split.Group]
+		reg, err := newModel(model, seeds[i], opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := reg.Fit(dataset.Subset(split.Train)); err != nil {
+			return nil, err
+		}
+		test := split.Test[0]
+		predVec := reg.Predict(dataset.X[test])
+		actualRel := rel[test]
+		predRel := rep.Decode(predVec, len(actualRel), rngs[i])
+		scores[i] = score(split.Group, predRel, actualRel)
+		return nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return scores, nil
+}
+
+// predictHoldout trains on every benchmark except benchmarkID and
+// predicts its distribution.
+func predictHoldout(dataset *ml.Dataset, rel [][]float64, ids []string,
+	rep distrep.Representation, benchmarkID string, model Model, opts ModelOptions, seed uint64) (predicted, actual []float64, err error) {
+
+	test := -1
+	var train []int
+	for i, id := range ids {
+		if id == benchmarkID {
+			test = i
+		} else {
+			train = append(train, i)
+		}
+	}
+	if test < 0 {
+		return nil, nil, fmt.Errorf("core: benchmark %q not in dataset", benchmarkID)
+	}
+	reg, err := newModel(model, seed, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := reg.Fit(dataset.Subset(train)); err != nil {
+		return nil, nil, err
+	}
+	predVec := reg.Predict(dataset.X[test])
+	actual = rel[test]
+	predicted = rep.Decode(predVec, len(actual), randx.New(seed^0xD1B54A32D192ED03))
+	return predicted, actual, nil
+}
+
+// score computes the per-benchmark accuracy record.
+func score(id string, predRel, actualRel []float64) BenchScore {
+	return BenchScore{
+		Benchmark:      id,
+		KS:             stats.KSStatistic(predRel, actualRel),
+		W1:             stats.Wasserstein1(predRel, actualRel),
+		AD:             stats.AndersonDarling(predRel, actualRel),
+		CvM:            stats.CramerVonMises(predRel, actualRel),
+		Energy:         stats.EnergyDistance(predRel, actualRel),
+		PredictedModes: stats.NewKDE(predRel).CountModes(512, 0.1),
+		ActualModes:    stats.NewKDE(actualRel).CountModes(512, 0.1),
+	}
+}
+
+// FeatureImportanceUC1 trains a random forest on the full use-case-1
+// dataset (no hold-out) and returns the per-feature gain importances
+// with their feature names — the "which metrics drive the prediction"
+// analysis behind cmd/varimportance.
+func FeatureImportanceUC1(sd *measure.SystemData, cfg UC1Config) (names []string, importance []float64, err error) {
+	data, err := buildUC1(sd, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	trees := cfg.Models.ForestTrees
+	if trees <= 0 {
+		trees = 100
+	}
+	f := forest.New(forest.Config{NumTrees: trees, Seed: cfg.Seed})
+	if err := f.Fit(data.dataset); err != nil {
+		return nil, nil, err
+	}
+	return data.dataset.FeatureNames, f.FeatureImportance(), nil
+}

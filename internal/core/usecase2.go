@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/distrep"
+	"repro/internal/features"
+	"repro/internal/measure"
+	"repro/internal/ml"
+)
+
+// UC2Config parameterizes use case 2: predicting an application's
+// distribution on a target system from its profile and measured
+// distribution on a source system.
+type UC2Config struct {
+	// Rep selects the distribution representation (used both for the
+	// input-side encoding of the source distribution and for the
+	// predicted target distribution).
+	Rep distrep.Kind
+	// Model selects the prediction model.
+	Model Model
+	// Bins is the histogram bin count (0 = default).
+	Bins int
+	// ProfileRuns is the number of source-system runs the profile part
+	// of the input is built from (default 100; the source distribution
+	// itself is encoded from all measured runs).
+	ProfileRuns int
+	// Seed drives all stochastic components.
+	Seed uint64
+	// Models tunes model hyperparameters (ablations).
+	Models ModelOptions
+}
+
+func (c UC2Config) String() string {
+	rep, _ := newRepresentation(c.Rep, c.Bins)
+	return fmt.Sprintf("UC2{rep=%s model=%s}", rep.Name(), c.Model)
+}
+
+// buildUC2 assembles the system-to-system learning problem: inputs are
+// the source-system profile concatenated with the source-system
+// distribution encoding; targets are the target-system distribution
+// encoding.
+func buildUC2(src, dst *measure.SystemData, cfg UC2Config) (*uc1Data, error) {
+	rep, err := newRepresentation(cfg.Rep, cfg.Bins)
+	if err != nil {
+		return nil, err
+	}
+	profileRuns := cfg.ProfileRuns
+	if profileRuns <= 0 {
+		profileRuns = 100
+	}
+	d := &uc1Data{rep: rep, dataset: &ml.Dataset{}}
+	for i := range src.Benchmarks {
+		sb := &src.Benchmarks[i]
+		id := sb.Workload.ID()
+		db, ok := dst.Find(id)
+		if !ok {
+			return nil, fmt.Errorf("core: benchmark %s missing on target system %s", id, dst.SystemName)
+		}
+		n := profileRuns
+		if n > len(sb.Runs) {
+			n = len(sb.Runs)
+		}
+		prof, err := features.FromRuns(sb.Runs[:n], src.MetricNames)
+		if err != nil {
+			return nil, fmt.Errorf("core: source profile of %s: %w", id, err)
+		}
+		srcRel := sb.RelTimes()
+		input := features.Concat(prof, features.Labeled("src-dist", rep.Encode(srcRel)))
+		dstRel := db.RelTimes()
+		d.dataset.X = append(d.dataset.X, input.Values)
+		d.dataset.Y = append(d.dataset.Y, rep.Encode(dstRel))
+		d.rel = append(d.rel, dstRel)
+		d.ids = append(d.ids, id)
+		if d.dataset.FeatureNames == nil {
+			d.dataset.FeatureNames = input.Names
+		}
+	}
+	if err := d.dataset.Validate(); err != nil {
+		return nil, fmt.Errorf("core: UC2 dataset: %w", err)
+	}
+	return d, nil
+}
+
+// EvaluateUC2 runs leave-one-benchmark-out cross-validation of use
+// case 2 (source system → target system) and returns per-benchmark
+// scores in benchmark order.
+func EvaluateUC2(src, dst *measure.SystemData, cfg UC2Config) ([]BenchScore, error) {
+	data, err := buildUC2(src, dst, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return evaluateLOGO(data.dataset, data.rel, data.ids, data.rep, cfg.Model, cfg.Models, cfg.Seed)
+}
+
+// PredictUC2 predicts one benchmark's distribution on the target system
+// from its source-system measurements, training on all other benchmarks
+// (the paper's Figure 9 overlays). It returns the predicted and measured
+// target-system relative-time samples.
+func PredictUC2(src, dst *measure.SystemData, benchmarkID string, cfg UC2Config) (predicted, actual []float64, err error) {
+	data, err := buildUC2(src, dst, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return predictHoldout(data.dataset, data.rel, data.ids, data.rep, benchmarkID, cfg.Model, cfg.Models, cfg.Seed)
+}

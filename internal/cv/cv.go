@@ -1,0 +1,145 @@
+// Package cv provides the cross-validation splitters used by the
+// paper's evaluation: leave-one-group-out (each benchmark is a group, so
+// a model is always tested on an application it never saw during
+// training) and k-fold, plus a parallel fold-evaluation driver.
+// It replaces scikit-learn's LeaveOneGroupOut machinery.
+package cv
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Split is one train/test partition of example indices.
+type Split struct {
+	// Group labels the held-out group (empty for k-fold splits).
+	Group string
+	// Train and Test hold row indices into the original dataset.
+	Train, Test []int
+}
+
+// LeaveOneGroupOut returns one split per distinct group label: the split
+// whose Group is g tests on every example with label g and trains on all
+// others. Splits are ordered by the first appearance of each group.
+func LeaveOneGroupOut(groups []string) ([]Split, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("cv: no groups")
+	}
+	order := make([]string, 0)
+	seen := make(map[string]bool)
+	for _, g := range groups {
+		if !seen[g] {
+			seen[g] = true
+			order = append(order, g)
+		}
+	}
+	if len(order) < 2 {
+		return nil, fmt.Errorf("cv: leave-one-group-out needs >= 2 groups, got %d", len(order))
+	}
+	splits := make([]Split, 0, len(order))
+	for _, g := range order {
+		var s Split
+		s.Group = g
+		for i, gi := range groups {
+			if gi == g {
+				s.Test = append(s.Test, i)
+			} else {
+				s.Train = append(s.Train, i)
+			}
+		}
+		splits = append(splits, s)
+	}
+	return splits, nil
+}
+
+// KFold returns k contiguous-fold splits over n examples (no shuffling;
+// shuffle indices beforehand if needed). Fold sizes differ by at most 1.
+func KFold(n, k int) ([]Split, error) {
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("cv: need 2 <= k <= n, got k=%d n=%d", k, n)
+	}
+	splits := make([]Split, k)
+	base := n / k
+	rem := n % k
+	start := 0
+	for f := 0; f < k; f++ {
+		size := base
+		if f < rem {
+			size++
+		}
+		end := start + size
+		for i := 0; i < n; i++ {
+			if i >= start && i < end {
+				splits[f].Test = append(splits[f].Test, i)
+			} else {
+				splits[f].Train = append(splits[f].Train, i)
+			}
+		}
+		start = end
+	}
+	return splits, nil
+}
+
+// Result pairs a split's group with the per-test-example outputs the
+// evaluation function produced.
+type Result struct {
+	Group  string
+	Values []float64
+}
+
+// EvaluateParallel runs eval on every split concurrently (bounded by
+// GOMAXPROCS workers) and returns results in split order. eval receives
+// the split and must return one value per test example (or any summary
+// slice); errors abort the whole evaluation.
+func EvaluateParallel(splits []Split, eval func(Split) ([]float64, error)) ([]Result, error) {
+	results := make([]Result, len(splits))
+	errs := make([]error, len(splits))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, s := range splits {
+		wg.Add(1)
+		go func(i int, s Split) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			vals, err := eval(s)
+			if err != nil {
+				errs[i] = fmt.Errorf("cv: split %q: %w", s.Group, err)
+				return
+			}
+			results[i] = Result{Group: s.Group, Values: vals}
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Flatten concatenates all result values, preserving split order.
+func Flatten(results []Result) []float64 {
+	var out []float64
+	for _, r := range results {
+		out = append(out, r.Values...)
+	}
+	return out
+}
+
+// GroupNames returns the sorted distinct group labels.
+func GroupNames(groups []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, g := range groups {
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

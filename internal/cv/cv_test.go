@@ -1,0 +1,137 @@
+package cv
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func TestLeaveOneGroupOut(t *testing.T) {
+	groups := []string{"a", "b", "a", "c", "b"}
+	splits, err := LeaveOneGroupOut(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 3 {
+		t.Fatalf("got %d splits, want 3", len(splits))
+	}
+	// First-appearance order: a, b, c.
+	if splits[0].Group != "a" || splits[1].Group != "b" || splits[2].Group != "c" {
+		t.Errorf("split order = %v %v %v", splits[0].Group, splits[1].Group, splits[2].Group)
+	}
+	// Split "a": test = {0, 2}, train = {1, 3, 4}.
+	if fmt.Sprint(splits[0].Test) != "[0 2]" || fmt.Sprint(splits[0].Train) != "[1 3 4]" {
+		t.Errorf("split a: test=%v train=%v", splits[0].Test, splits[0].Train)
+	}
+	// Every split partitions all indices.
+	for _, s := range splits {
+		all := append(append([]int(nil), s.Train...), s.Test...)
+		sort.Ints(all)
+		if len(all) != len(groups) {
+			t.Errorf("split %q does not cover all rows: %v", s.Group, all)
+		}
+		for i, v := range all {
+			if v != i {
+				t.Errorf("split %q covers %v", s.Group, all)
+				break
+			}
+		}
+	}
+}
+
+func TestLeaveOneGroupOutErrors(t *testing.T) {
+	if _, err := LeaveOneGroupOut(nil); err == nil {
+		t.Error("empty groups should fail")
+	}
+	if _, err := LeaveOneGroupOut([]string{"x", "x"}); err == nil {
+		t.Error("single group should fail")
+	}
+}
+
+func TestKFold(t *testing.T) {
+	splits, err := KFold(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 3 {
+		t.Fatalf("got %d folds", len(splits))
+	}
+	sizes := []int{len(splits[0].Test), len(splits[1].Test), len(splits[2].Test)}
+	if sizes[0]+sizes[1]+sizes[2] != 10 {
+		t.Errorf("test sizes %v don't cover 10", sizes)
+	}
+	for _, s := range sizes {
+		if s < 3 || s > 4 {
+			t.Errorf("unbalanced folds: %v", sizes)
+		}
+	}
+	// Test sets are disjoint.
+	seen := make(map[int]bool)
+	for _, s := range splits {
+		for _, i := range s.Test {
+			if seen[i] {
+				t.Fatalf("index %d in two test folds", i)
+			}
+			seen[i] = true
+		}
+		if len(s.Train)+len(s.Test) != 10 {
+			t.Errorf("fold doesn't partition: %d + %d", len(s.Train), len(s.Test))
+		}
+	}
+}
+
+func TestKFoldErrors(t *testing.T) {
+	if _, err := KFold(5, 1); err == nil {
+		t.Error("k=1 should fail")
+	}
+	if _, err := KFold(3, 5); err == nil {
+		t.Error("k>n should fail")
+	}
+}
+
+func TestEvaluateParallelOrderAndValues(t *testing.T) {
+	splits, _ := LeaveOneGroupOut([]string{"a", "b", "c", "d"})
+	results, err := EvaluateParallel(splits, func(s Split) ([]float64, error) {
+		return []float64{float64(s.Test[0])}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Group != splits[i].Group {
+			t.Errorf("result %d group %q, want %q", i, r.Group, splits[i].Group)
+		}
+		if r.Values[0] != float64(i) {
+			t.Errorf("result %d value %v", i, r.Values[0])
+		}
+	}
+	flat := Flatten(results)
+	if fmt.Sprint(flat) != "[0 1 2 3]" {
+		t.Errorf("Flatten = %v", flat)
+	}
+}
+
+func TestEvaluateParallelPropagatesError(t *testing.T) {
+	splits, _ := KFold(6, 3)
+	boom := errors.New("boom")
+	_, err := EvaluateParallel(splits, func(s Split) ([]float64, error) {
+		if s.Test[0] == 2 {
+			return nil, boom
+		}
+		return []float64{1}, nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestGroupNames(t *testing.T) {
+	got := GroupNames([]string{"z", "a", "z", "m"})
+	if fmt.Sprint(got) != "[a m z]" {
+		t.Errorf("GroupNames = %v", got)
+	}
+}

@@ -1,0 +1,82 @@
+package distrep
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/numeric"
+	"repro/internal/randx"
+)
+
+// QuantileRep is an extension representation beyond the paper's three:
+// the target vector is K evenly spaced quantiles of the relative-time
+// distribution, and decoding samples the piecewise-linear inverse CDF
+// through them. It is motivated by the quantile-regression methodology
+// the paper cites (de Oliveira et al.) and probes whether a
+// nonparametric-but-compact representation can beat both the histogram
+// (same information, different parameterization) and the moments.
+type QuantileRep struct {
+	// K is the number of quantiles (>= 2).
+	K int
+}
+
+// NewQuantile returns a K-quantile representation.
+func NewQuantile(k int) (*QuantileRep, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("distrep: quantile representation needs K >= 2, got %d", k)
+	}
+	return &QuantileRep{K: k}, nil
+}
+
+// Name implements Representation.
+func (q *QuantileRep) Name() string { return fmt.Sprintf("Quantile(%d)", q.K) }
+
+// Dim implements Representation.
+func (q *QuantileRep) Dim() int { return q.K }
+
+// probes returns the quantile probabilities: evenly spaced, inset from
+// the endpoints so the extreme order statistics (which are high-variance)
+// are not targets.
+func (q *QuantileRep) probes() []float64 {
+	out := make([]float64, q.K)
+	for i := range out {
+		out[i] = (float64(i) + 0.5) / float64(q.K)
+	}
+	return out
+}
+
+// Encode computes the quantile vector of the relative times.
+func (q *QuantileRep) Encode(relTimes []float64) []float64 {
+	sorted := append([]float64(nil), relTimes...)
+	sort.Float64s(sorted)
+	out := make([]float64, q.K)
+	for i, p := range q.probes() {
+		pos := p * float64(len(sorted)-1)
+		lo := int(pos)
+		if lo >= len(sorted)-1 {
+			out[i] = sorted[len(sorted)-1]
+			continue
+		}
+		frac := pos - float64(lo)
+		out[i] = sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+	}
+	return out
+}
+
+// Decode samples the piecewise-linear inverse CDF through the predicted
+// quantiles. Model predictions can violate monotonicity; the vector is
+// repaired by isotonic sorting first (the standard fix in quantile
+// regression).
+func (q *QuantileRep) Decode(vec []float64, n int, rng *randx.RNG) []float64 {
+	if len(vec) != q.K {
+		panic(fmt.Sprintf("distrep: quantile decode got %d values, want %d", len(vec), q.K))
+	}
+	qs := append([]float64(nil), vec...)
+	sort.Float64s(qs) // isotonic repair
+	ps := q.probes()
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = numeric.LinearInterp(ps, qs, rng.Float64())
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+// Package features builds the application profiles the paper feeds its
+// prediction models (Section III-B1): application-independent perf
+// metrics normalized per second, and — when a profile is built from
+// multiple runs — the mean, standard deviation, skewness, and kurtosis
+// of each normalized metric across the runs.
+package features
+
+import (
+	"fmt"
+
+	"repro/internal/perfsim"
+	"repro/internal/stats"
+)
+
+// Profile is the input feature vector of one application on one system,
+// together with the generated feature names (for reports and debugging).
+type Profile struct {
+	Values []float64
+	Names  []string
+}
+
+// FromRuns builds a profile from n runs following the paper's recipe:
+// each raw counter total is divided by the run's duration ("relative
+// metrics normalized per second to ensure that the metrics have the
+// same scale across applications"), then the first four moments of each
+// normalized metric across the runs become the features. With a single
+// run the std/skew/kurt moments are degenerate (0/0/3) but retained so
+// the feature layout is identical for every sample count.
+func FromRuns(runs []perfsim.Run, metricNames []string) (*Profile, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("features: no runs")
+	}
+	nm := len(metricNames)
+	for i, r := range runs {
+		if len(r.Metrics) != nm {
+			return nil, fmt.Errorf("features: run %d has %d metrics, schema has %d", i, len(r.Metrics), nm)
+		}
+		if r.Seconds <= 0 {
+			return nil, fmt.Errorf("features: run %d has non-positive duration %v", i, r.Seconds)
+		}
+	}
+	p := &Profile{
+		Values: make([]float64, 0, nm*4),
+		Names:  make([]string, 0, nm*4),
+	}
+	perSec := make([]float64, len(runs))
+	for m := 0; m < nm; m++ {
+		for ri, r := range runs {
+			perSec[ri] = r.Metrics[m] / r.Seconds
+		}
+		mom := stats.ComputeMoments4(perSec)
+		p.Values = append(p.Values, mom.Mean, mom.Std, mom.Skew, mom.Kurt)
+		p.Names = append(p.Names,
+			metricNames[m]+"/sec:mean",
+			metricNames[m]+"/sec:std",
+			metricNames[m]+"/sec:skew",
+			metricNames[m]+"/sec:kurt",
+		)
+	}
+	return p, nil
+}
+
+// MeanOnly builds the reduced profile used by the feature-moments
+// ablation: just the mean per-second value of each metric.
+func MeanOnly(runs []perfsim.Run, metricNames []string) (*Profile, error) {
+	full, err := FromRuns(runs, metricNames)
+	if err != nil {
+		return nil, err
+	}
+	nm := len(metricNames)
+	p := &Profile{
+		Values: make([]float64, nm),
+		Names:  make([]string, nm),
+	}
+	for m := 0; m < nm; m++ {
+		p.Values[m] = full.Values[m*4]
+		p.Names[m] = full.Names[m*4]
+	}
+	return p, nil
+}
+
+// Concat joins profiles (used by use case 2 to append the source-system
+// distribution representation to the source-system profile).
+func Concat(profiles ...*Profile) *Profile {
+	out := &Profile{}
+	for _, p := range profiles {
+		out.Values = append(out.Values, p.Values...)
+		out.Names = append(out.Names, p.Names...)
+	}
+	return out
+}
+
+// Labeled wraps a raw vector as a profile with a name prefix, for
+// concatenating non-metric features (e.g. distribution representations).
+func Labeled(prefix string, values []float64) *Profile {
+	p := &Profile{
+		Values: append([]float64(nil), values...),
+		Names:  make([]string, len(values)),
+	}
+	for i := range values {
+		p.Names[i] = fmt.Sprintf("%s[%d]", prefix, i)
+	}
+	return p
+}

@@ -1,0 +1,174 @@
+package maxent
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/stats"
+)
+
+func TestReconstructGaussian(t *testing.T) {
+	d, err := ReconstructMoments4(stats.Moments4{Mean: 0, Std: 1, Skew: 0, Kurt: 3}, nil)
+	if err != nil {
+		t.Fatalf("ReconstructMoments4: %v", err)
+	}
+	// The reconstructed density must match the standard normal pdf.
+	for _, x := range []float64{-2, -1, 0, 0.5, 1, 2} {
+		want := math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+		got := d.At(x)
+		if math.Abs(got-want) > 2e-3 {
+			t.Errorf("density(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestReconstructScaledShifted(t *testing.T) {
+	m := stats.Moments4{Mean: 10, Std: 2, Skew: 0, Kurt: 3}
+	d, err := ReconstructMoments4(m, nil)
+	if err != nil {
+		t.Fatalf("ReconstructMoments4: %v", err)
+	}
+	want := math.Exp(-0.5) / (2 * math.Sqrt(2*math.Pi)) // N(10,2) at x=12
+	if got := d.At(12); math.Abs(got-want) > 1e-3 {
+		t.Errorf("density(12) = %v, want %v", got, want)
+	}
+	if d.At(-100) != 0 || d.At(1000) != 0 {
+		t.Error("density outside support must be 0")
+	}
+}
+
+func TestReconstructMatchesMoments(t *testing.T) {
+	targets := []stats.Moments4{
+		{Mean: 1, Std: 0.1, Skew: 0, Kurt: 3},
+		{Mean: 1, Std: 0.2, Skew: 0.8, Kurt: 3.5},
+		{Mean: 0, Std: 1, Skew: -0.5, Kurt: 2.8},
+		{Mean: 2, Std: 0.5, Skew: 0, Kurt: 2.2},
+		{Mean: 1, Std: 0.3, Skew: 1.2, Kurt: 5},
+	}
+	r := randx.New(41)
+	for _, target := range targets {
+		d, err := ReconstructMoments4(target, nil)
+		if err != nil {
+			t.Errorf("ReconstructMoments4(%+v): %v", target, err)
+			continue
+		}
+		xs := d.Sample(300000, r.Float64)
+		got := stats.ComputeMoments4(xs)
+		if math.Abs(got.Mean-target.Mean) > 0.02*(1+math.Abs(target.Mean)) {
+			t.Errorf("%+v: mean = %v", target, got.Mean)
+		}
+		if math.Abs(got.Std-target.Std) > 0.05*target.Std+0.01 {
+			t.Errorf("%+v: std = %v", target, got.Std)
+		}
+		if math.Abs(got.Skew-target.Skew) > 0.1+0.05*math.Abs(target.Skew) {
+			t.Errorf("%+v: skew = %v", target, got.Skew)
+		}
+		if math.Abs(got.Kurt-target.Kurt) > 0.15*target.Kurt {
+			t.Errorf("%+v: kurt = %v", target, got.Kurt)
+		}
+	}
+}
+
+func TestReconstructStandardizedValidation(t *testing.T) {
+	if _, err := ReconstructStandardized([]float64{2, 0, 1}, -8, 8, nil); err == nil {
+		t.Error("mu[0] != 1 should fail")
+	}
+	if _, err := ReconstructStandardized([]float64{1}, -8, 8, nil); err == nil {
+		t.Error("single moment should fail")
+	}
+	if _, err := ReconstructStandardized([]float64{1, 0, 0}, -8, 8, nil); err == nil {
+		t.Error("zero variance should fail")
+	}
+	if _, err := ReconstructMoments4(stats.Moments4{Mean: 1, Std: 0, Skew: 0, Kurt: 3}, nil); err == nil {
+		t.Error("zero std should fail")
+	}
+	if _, err := ReconstructMoments4(stats.Moments4{Mean: 1, Std: 1, Skew: math.NaN(), Kurt: 3}, nil); err == nil {
+		t.Error("NaN skew should fail")
+	}
+}
+
+func TestReconstructInfeasibleFails(t *testing.T) {
+	// kurt < skew²+1 cannot be matched by any density.
+	if _, err := ReconstructMoments4(stats.Moments4{Mean: 0, Std: 1, Skew: 2, Kurt: 2}, nil); err == nil {
+		t.Error("infeasible moments should not converge")
+	}
+}
+
+func TestDensityIntegratesToOne(t *testing.T) {
+	d, err := ReconstructMoments4(stats.Moments4{Mean: 1, Std: 0.25, Skew: 0.6, Kurt: 3.4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trapezoid over the support in data space.
+	lo := d.Mean + d.Std*d.Lo
+	hi := d.Mean + d.Std*d.Hi
+	n := 4000
+	var integral float64
+	step := (hi - lo) / float64(n)
+	for i := 0; i <= n; i++ {
+		w := 1.0
+		if i == 0 || i == n {
+			w = 0.5
+		}
+		integral += w * d.At(lo+float64(i)*step) * step
+	}
+	if math.Abs(integral-1) > 0.01 {
+		t.Errorf("density integral = %v, want ~1", integral)
+	}
+}
+
+func TestSampleWithinSupport(t *testing.T) {
+	d, err := ReconstructMoments4(stats.Moments4{Mean: 1, Std: 0.1, Skew: 0, Kurt: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := randx.New(99)
+	for _, x := range d.Sample(10000, r.Float64) {
+		if x < 1-0.81 || x > 1+0.81 {
+			t.Fatalf("sample %v outside ±8σ support", x)
+		}
+	}
+}
+
+func TestUnimodalityOfFourMomentReconstruction(t *testing.T) {
+	// A key qualitative property behind PyMaxEnt's weakness in the paper:
+	// exp(quartic) with 4 moments cannot produce well-separated bimodal
+	// shapes for moderate moment values; it yields a smooth (at most
+	// weakly bimodal) density. Reconstruct from the moments of a strongly
+	// bimodal sample and verify the KS distance remains substantial.
+	r := randx.New(123)
+	bimodal := make([]float64, 20000)
+	for i := range bimodal {
+		if r.Float64() < 0.6 {
+			bimodal[i] = r.Normal(0.95, 0.01)
+		} else {
+			bimodal[i] = r.Normal(1.12, 0.01)
+		}
+	}
+	m := stats.ComputeMoments4(bimodal)
+	d, err := ReconstructMoments4(m, nil)
+	if err != nil {
+		t.Skipf("reconstruction did not converge for bimodal moments: %v", err)
+	}
+	recon := d.Sample(20000, r.Float64)
+	ks := stats.KSStatistic(bimodal, recon)
+	if ks < 0.05 {
+		t.Errorf("KS = %v; expected maxent to visibly miss a sharply bimodal target", ks)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := (&Options{}).withDefaults()
+	if o.QuadratureNodes != 96 || o.MaxIter != 200 || o.Tol != 1e-8 {
+		t.Errorf("defaults = %+v", o)
+	}
+	o2 := (&Options{QuadratureNodes: 32, MaxIter: 10, Tol: 1e-3}).withDefaults()
+	if o2.QuadratureNodes != 32 || o2.MaxIter != 10 || o2.Tol != 1e-3 {
+		t.Errorf("overrides = %+v", o2)
+	}
+	var nilOpts *Options
+	if nilOpts.withDefaults().QuadratureNodes != 96 {
+		t.Error("nil options should yield defaults")
+	}
+}

@@ -1,0 +1,63 @@
+package measure
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ExportRelTimesCSV writes every benchmark's relative run times on one
+// system as long-format CSV (system, suite, benchmark, run, rel_time) —
+// the raw material of the paper's Figure 3, consumable by external
+// plotting tools.
+func (s *SystemData) ExportRelTimesCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"system", "suite", "benchmark", "run", "rel_time"}); err != nil {
+		return fmt.Errorf("measure: csv: %w", err)
+	}
+	for i := range s.Benchmarks {
+		b := &s.Benchmarks[i]
+		for ri, rt := range b.RelTimes() {
+			rec := []string{
+				s.SystemName,
+				b.Workload.Suite,
+				b.Workload.Name,
+				strconv.Itoa(ri),
+				strconv.FormatFloat(rt, 'g', 10, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("measure: csv: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ExportProfileCSV writes the raw per-run counter totals of one
+// benchmark as CSV, one row per run with a duration column followed by
+// the system's metric schema.
+func (s *SystemData) ExportProfileCSV(w io.Writer, benchmarkID string) error {
+	b, ok := s.Find(benchmarkID)
+	if !ok {
+		return fmt.Errorf("measure: benchmark %q not in system %s", benchmarkID, s.SystemName)
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{"run", "seconds"}, s.MetricNames...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("measure: csv: %w", err)
+	}
+	for ri, run := range b.Runs {
+		rec := make([]string, 0, len(header))
+		rec = append(rec, strconv.Itoa(ri), strconv.FormatFloat(run.Seconds, 'g', 10, 64))
+		for _, v := range run.Metrics {
+			rec = append(rec, strconv.FormatFloat(v, 'g', 10, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("measure: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

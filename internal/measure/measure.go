@@ -1,0 +1,201 @@
+// Package measure drives the measurement campaign: executing every
+// Table I benchmark many times on each system, recording run times and
+// perf-counter totals, and persisting the resulting database. It plays
+// the role of the paper's data-collection scripts (1,000 repetitions
+// per benchmark per system).
+package measure
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"repro/internal/perfsim"
+	"repro/internal/randx"
+)
+
+// BenchmarkData holds one benchmark's measurements on one system.
+type BenchmarkData struct {
+	Workload perfsim.Workload
+	// Runs are the distribution-measurement runs (the paper's 1,000).
+	Runs []perfsim.Run
+	// ProbeRuns are extra runs reserved for building few-run profiles in
+	// use case 1, kept separate so the profile and the ground-truth
+	// distribution never share samples.
+	ProbeRuns []perfsim.Run
+}
+
+// RelTimes returns the measured relative times (run time normalized to
+// the mean), the quantity whose distribution the paper predicts.
+func (b *BenchmarkData) RelTimes() []float64 {
+	secs := perfsim.Seconds(b.Runs)
+	mean := 0.0
+	for _, s := range secs {
+		mean += s
+	}
+	mean /= float64(len(secs))
+	out := make([]float64, len(secs))
+	for i, s := range secs {
+		out[i] = s / mean
+	}
+	return out
+}
+
+// SystemData holds all benchmarks measured on one system.
+type SystemData struct {
+	SystemName  string
+	MetricNames []string
+	Benchmarks  []BenchmarkData
+}
+
+// Find returns the benchmark data with the given "suite/name" ID.
+func (s *SystemData) Find(id string) (*BenchmarkData, bool) {
+	for i := range s.Benchmarks {
+		if s.Benchmarks[i].Workload.ID() == id {
+			return &s.Benchmarks[i], true
+		}
+	}
+	return nil, false
+}
+
+// Database is the full measurement campaign across systems.
+type Database struct {
+	// Seed reproduces the campaign.
+	Seed uint64
+	// RunsPerBenchmark and ProbeRuns record campaign parameters.
+	RunsPerBenchmark, ProbeRunsPerBenchmark int
+	Systems                                 []SystemData
+}
+
+// System returns the named system's data.
+func (d *Database) System(name string) (*SystemData, bool) {
+	for i := range d.Systems {
+		if d.Systems[i].SystemName == name {
+			return &d.Systems[i], true
+		}
+	}
+	return nil, false
+}
+
+// Config parameterizes a campaign.
+type Config struct {
+	// Runs is the number of distribution-measurement runs per benchmark
+	// (the paper uses 1,000).
+	Runs int
+	// ProbeRuns is the number of extra runs reserved for few-run
+	// profiles (must cover the largest sample count swept in Figure 6).
+	ProbeRuns int
+	// Seed drives all randomness.
+	Seed uint64
+	// Workers bounds collection parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+// Collect runs the campaign for the given systems over the given
+// benchmark population. Each (system, benchmark) pair gets its own
+// deterministic RNG stream derived from the seed, so the database is
+// reproducible regardless of scheduling.
+func Collect(systems []*perfsim.System, workloads []perfsim.Workload, cfg Config) (*Database, error) {
+	if cfg.Runs < 2 {
+		return nil, fmt.Errorf("measure: need at least 2 runs, got %d", cfg.Runs)
+	}
+	if cfg.ProbeRuns < 1 {
+		return nil, fmt.Errorf("measure: need at least 1 probe run, got %d", cfg.ProbeRuns)
+	}
+	if len(systems) == 0 || len(workloads) == 0 {
+		return nil, fmt.Errorf("measure: empty systems or workloads")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	db := &Database{
+		Seed:                  cfg.Seed,
+		RunsPerBenchmark:      cfg.Runs,
+		ProbeRunsPerBenchmark: cfg.ProbeRuns,
+		Systems:               make([]SystemData, len(systems)),
+	}
+	type job struct{ si, wi int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	machines := make([]*perfsim.Machine, len(systems))
+	for si, s := range systems {
+		machines[si] = perfsim.NewMachine(s)
+		db.Systems[si] = SystemData{
+			SystemName:  s.Name,
+			MetricNames: append([]string(nil), s.MetricNames...),
+			Benchmarks:  make([]BenchmarkData, len(workloads)),
+		}
+	}
+	root := randx.New(cfg.Seed)
+	// Pre-derive one RNG per (system, benchmark) in deterministic order.
+	rngs := make([][]*randx.RNG, len(systems))
+	for si := range systems {
+		rngs[si] = make([]*randx.RNG, len(workloads))
+		for wi := range workloads {
+			rngs[si][wi] = root.Split()
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				bench := machines[j.si].Bench(workloads[j.wi])
+				rng := rngs[j.si][j.wi]
+				db.Systems[j.si].Benchmarks[j.wi] = BenchmarkData{
+					Workload:  workloads[j.wi],
+					Runs:      bench.RunN(rng, cfg.Runs),
+					ProbeRuns: bench.RunN(rng, cfg.ProbeRuns),
+				}
+			}
+		}()
+	}
+	for si := range systems {
+		for wi := range workloads {
+			jobs <- job{si, wi}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return db, nil
+}
+
+// Save persists the database as gzipped gob.
+func (d *Database) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("measure: save: %w", err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	if err := gob.NewEncoder(zw).Encode(d); err != nil {
+		return fmt.Errorf("measure: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("measure: compress: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads a database saved with Save.
+func Load(path string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("measure: load: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("measure: decompress: %w", err)
+	}
+	defer zr.Close()
+	var d Database
+	if err := gob.NewDecoder(zr).Decode(&d); err != nil {
+		return nil, fmt.Errorf("measure: decode: %w", err)
+	}
+	return &d, nil
+}

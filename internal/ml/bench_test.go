@@ -1,0 +1,76 @@
+package ml_test
+
+import (
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/ml/forest"
+	"repro/internal/ml/knn"
+	"repro/internal/ml/linreg"
+	"repro/internal/ml/xgb"
+	"repro/internal/randx"
+)
+
+// uc1Shaped builds a dataset shaped like the paper's use case 1:
+// 59 training benchmarks, 272 profile features, 4 moment targets.
+func uc1Shaped(seed uint64) *ml.Dataset {
+	rng := randx.New(seed)
+	n, p, q := 59, 272, 4
+	d := &ml.Dataset{X: make([][]float64, n), Y: make([][]float64, n)}
+	for i := range d.X {
+		d.X[i] = make([]float64, p)
+		for j := range d.X[i] {
+			d.X[i][j] = rng.StdNormal()
+		}
+		d.Y[i] = make([]float64, q)
+		for j := range d.Y[i] {
+			d.Y[i][j] = d.X[i][j%p] + 0.1*rng.StdNormal()
+		}
+	}
+	return d
+}
+
+func BenchmarkKNNFitPredict(b *testing.B) {
+	d := uc1Shaped(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := knn.New(15)
+		if err := r.Fit(d); err != nil {
+			b.Fatal(err)
+		}
+		_ = r.Predict(d.X[0])
+	}
+}
+
+func BenchmarkForestFit(b *testing.B) {
+	d := uc1Shaped(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := forest.New(forest.Config{NumTrees: 20, Seed: 3})
+		if err := f.Fit(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXGBFit(b *testing.B) {
+	d := uc1Shaped(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := xgb.New(xgb.Config{NumRounds: 10, MaxDepth: 2, Seed: 4})
+		if err := m.Fit(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRidgeFit(b *testing.B) {
+	d := uc1Shaped(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := linreg.New(10)
+		if err := r.Fit(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package forest implements a random-forest regressor (Breiman 2001) on
+// top of the CART trees in internal/ml/tree: bootstrap-resampled trees
+// with per-split feature subsampling, predictions averaged across the
+// ensemble. It replaces scikit-learn's RandomForestRegressor in the
+// paper's model comparison.
+package forest
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ml"
+	"repro/internal/ml/tree"
+	"repro/internal/randx"
+)
+
+// Config controls the ensemble.
+type Config struct {
+	// NumTrees is the ensemble size (default 100).
+	NumTrees int
+	// MaxDepth bounds each tree (<= 0: unlimited).
+	MaxDepth int
+	// MinSamplesLeaf per tree leaf (default 1).
+	MinSamplesLeaf int
+	// MaxFeatures sampled per split; 0 selects ceil(p/3), the classic
+	// regression-forest heuristic; negative uses all features.
+	MaxFeatures int
+	// Seed makes training deterministic.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumTrees <= 0 {
+		c.NumTrees = 100
+	}
+	if c.MinSamplesLeaf < 1 {
+		c.MinSamplesLeaf = 1
+	}
+	return c
+}
+
+// Regressor is a fitted random forest.
+type Regressor struct {
+	cfg   Config
+	trees []*tree.Tree
+	nOut  int
+}
+
+// New returns an unfitted forest.
+func New(cfg Config) *Regressor { return &Regressor{cfg: cfg.withDefaults()} }
+
+// Name implements ml.Regressor.
+func (f *Regressor) Name() string { return fmt.Sprintf("RandomForest(n=%d)", f.cfg.NumTrees) }
+
+// Fit trains the ensemble.
+func (f *Regressor) Fit(d *ml.Dataset) error {
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("forest: %w", err)
+	}
+	maxFeatures := f.cfg.MaxFeatures
+	if maxFeatures == 0 {
+		maxFeatures = int(math.Ceil(float64(d.NumFeatures()) / 3))
+	}
+	if maxFeatures < 0 || maxFeatures > d.NumFeatures() {
+		maxFeatures = d.NumFeatures()
+	}
+	rng := randx.New(f.cfg.Seed ^ 0xF0123456789ABCDE)
+	n := d.NumExamples()
+	f.nOut = d.NumOutputs()
+	f.trees = make([]*tree.Tree, f.cfg.NumTrees)
+	for t := range f.trees {
+		treeRNG := rng.Split()
+		boot := treeRNG.SampleWithReplacement(n, n)
+		tr := tree.New(tree.Config{
+			MaxDepth:       f.cfg.MaxDepth,
+			MinSamplesLeaf: f.cfg.MinSamplesLeaf,
+			MaxFeatures:    maxFeatures,
+			Rand:           treeRNG,
+		})
+		if err := tr.FitIndices(d, boot); err != nil {
+			return fmt.Errorf("forest: tree %d: %w", t, err)
+		}
+		f.trees[t] = tr
+	}
+	return nil
+}
+
+// FeatureImportance returns the per-feature gain importance averaged
+// over the ensemble, normalized to sum to 1 (all zeros when no tree ever
+// split). The result identifies which profile metrics drive the
+// distribution prediction.
+func (f *Regressor) FeatureImportance() []float64 {
+	if len(f.trees) == 0 {
+		panic("forest: FeatureImportance before Fit")
+	}
+	acc := f.trees[0].FeatureImportance()
+	out := make([]float64, len(acc))
+	for _, tr := range f.trees {
+		for i, v := range tr.FeatureImportance() {
+			out[i] += v
+		}
+	}
+	var total float64
+	for _, v := range out {
+		total += v
+	}
+	if total <= 0 {
+		return make([]float64, len(out))
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// Predict averages the trees' predictions.
+func (f *Regressor) Predict(x []float64) []float64 {
+	if len(f.trees) == 0 {
+		panic("forest: Predict before Fit")
+	}
+	out := make([]float64, f.nOut)
+	for _, tr := range f.trees {
+		p := tr.Predict(x)
+		for j, v := range p {
+			out[j] += v
+		}
+	}
+	inv := 1 / float64(len(f.trees))
+	for j := range out {
+		out[j] *= inv
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package forest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/randx"
+)
+
+// synth builds a noisy nonlinear regression problem.
+func synth(seed uint64, n int) *ml.Dataset {
+	rng := randx.New(seed)
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		a := rng.Uniform(-2, 2)
+		b := rng.Uniform(-2, 2)
+		c := rng.Uniform(-2, 2)
+		X[i] = []float64{a, b, c}
+		Y[i] = []float64{
+			a*a + math.Sin(b) + 0.1*rng.StdNormal(),
+			3*c + 0.1*rng.StdNormal(),
+		}
+	}
+	return &ml.Dataset{X: X, Y: Y}
+}
+
+func TestForestLearnsNonlinear(t *testing.T) {
+	train := synth(1, 1500)
+	test := synth(2, 200)
+	f := New(Config{NumTrees: 60, Seed: 3})
+	if err := f.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	pred := make([][]float64, len(test.X))
+	for i, x := range test.X {
+		pred[i] = f.Predict(x)
+	}
+	mse := ml.MSE(pred, test.Y)
+	if mse > 0.25 {
+		t.Errorf("forest test MSE = %v, want < 0.25", mse)
+	}
+	// Must handily beat predicting the training mean.
+	meanPred := make([][]float64, len(test.X))
+	mean := make([]float64, 2)
+	for _, y := range train.Y {
+		mean[0] += y[0]
+		mean[1] += y[1]
+	}
+	mean[0] /= float64(len(train.Y))
+	mean[1] /= float64(len(train.Y))
+	for i := range meanPred {
+		meanPred[i] = mean
+	}
+	baseline := ml.MSE(meanPred, test.Y)
+	if mse > baseline/3 {
+		t.Errorf("forest MSE %v not clearly better than mean baseline %v", mse, baseline)
+	}
+}
+
+func TestForestDeterministicWithSeed(t *testing.T) {
+	train := synth(4, 300)
+	f1 := New(Config{NumTrees: 20, Seed: 42})
+	f2 := New(Config{NumTrees: 20, Seed: 42})
+	if err := f1.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range train.X[:20] {
+		a, b := f1.Predict(x), f2.Predict(x)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatal("same seed gave different forests")
+			}
+		}
+	}
+	f3 := New(Config{NumTrees: 20, Seed: 43})
+	_ = f3.Fit(train)
+	same := true
+	for _, x := range train.X[:20] {
+		a, b := f1.Predict(x), f3.Predict(x)
+		for j := range a {
+			if a[j] != b[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical forests")
+	}
+}
+
+func TestForestDefaults(t *testing.T) {
+	f := New(Config{})
+	if f.cfg.NumTrees != 100 || f.cfg.MinSamplesLeaf != 1 {
+		t.Errorf("defaults = %+v", f.cfg)
+	}
+}
+
+func TestForestValidation(t *testing.T) {
+	f := New(Config{NumTrees: 5})
+	if err := f.Fit(&ml.Dataset{}); err == nil {
+		t.Error("empty dataset should fail")
+	}
+}
+
+func TestForestPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{}).Predict([]float64{1})
+}
+
+func TestForestAllFeaturesOption(t *testing.T) {
+	train := synth(5, 200)
+	f := New(Config{NumTrees: 10, MaxFeatures: -1, Seed: 7})
+	if err := f.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Predict(train.X[0])
+	if f.Name() == "" {
+		t.Error("Name should render")
+	}
+}
+
+func TestForestSmootherThanSingleTree(t *testing.T) {
+	// A hallmark of bagging: ensemble variance on noisy data is lower
+	// than a single deep tree's. Compare test MSE.
+	train := synth(8, 800)
+	test := synth(9, 300)
+	f := New(Config{NumTrees: 50, Seed: 10})
+	if err := f.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	single := New(Config{NumTrees: 1, Seed: 10})
+	if err := single.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	predF := make([][]float64, len(test.X))
+	predS := make([][]float64, len(test.X))
+	for i, x := range test.X {
+		predF[i] = f.Predict(x)
+		predS[i] = single.Predict(x)
+	}
+	if ml.MSE(predF, test.Y) >= ml.MSE(predS, test.Y) {
+		t.Errorf("forest (%v) not better than single tree (%v)",
+			ml.MSE(predF, test.Y), ml.MSE(predS, test.Y))
+	}
+}
+
+func TestForestFeatureImportance(t *testing.T) {
+	rng := randx.New(22)
+	n := 400
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		a := rng.Uniform(-1, 1)
+		X[i] = []float64{a, rng.Uniform(-1, 1), rng.Uniform(-1, 1)}
+		Y[i] = []float64{2 * a}
+	}
+	f := New(Config{NumTrees: 30, Seed: 5, MaxFeatures: -1})
+	if err := f.Fit(&ml.Dataset{X: X, Y: Y}); err != nil {
+		t.Fatal(err)
+	}
+	imp := f.FeatureImportance()
+	var sum float64
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importance sums to %v", sum)
+	}
+	if imp[0] < 0.8 {
+		t.Errorf("informative feature importance = %v, want > 0.8 (got %v)", imp[0], imp)
+	}
+}
+
+func TestForestFeatureImportanceBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{}).FeatureImportance()
+}

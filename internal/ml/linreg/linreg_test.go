@@ -1,0 +1,141 @@
+package linreg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/randx"
+)
+
+func TestRidgeRecoversLinearFunction(t *testing.T) {
+	rng := randx.New(1)
+	n := 500
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		a, b := rng.Uniform(-1, 1), rng.Uniform(-1, 1)
+		X[i] = []float64{a, b}
+		Y[i] = []float64{3*a - 2*b + 1, 0.5 * b}
+	}
+	r := New(1e-6)
+	if err := r.Fit(&ml.Dataset{X: X, Y: Y}); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Predict([]float64{0.5, -0.5})
+	want := []float64{3*0.5 + 2*0.5 + 1, -0.25}
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 1e-3 {
+			t.Errorf("output %d = %v, want %v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestRidgeHandlesMoreFeaturesThanExamples(t *testing.T) {
+	// p > n is the regime of the paper's datasets; the ridge term keeps
+	// the solve well-posed.
+	rng := randx.New(2)
+	n, p := 20, 100
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		X[i] = make([]float64, p)
+		for j := range X[i] {
+			X[i][j] = rng.StdNormal()
+		}
+		Y[i] = []float64{X[i][0] + 0.1*rng.StdNormal()}
+	}
+	r := New(1)
+	if err := r.Fit(&ml.Dataset{X: X, Y: Y}); err != nil {
+		t.Fatal(err)
+	}
+	// In the p >> n regime individual coefficients are unidentifiable;
+	// what ridge must deliver is finite, better-than-mean predictions on
+	// held-out points from the same distribution.
+	var sse, sseMean float64
+	for trial := 0; trial < 100; trial++ {
+		q := make([]float64, p)
+		for j := range q {
+			q[j] = rng.StdNormal()
+		}
+		want := q[0]
+		got := r.Predict(q)[0]
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("prediction not finite: %v", got)
+		}
+		sse += (got - want) * (got - want)
+		sseMean += want * want
+	}
+	if sse >= sseMean {
+		t.Errorf("ridge held-out SSE %v not better than mean baseline %v", sse, sseMean)
+	}
+}
+
+func TestRidgeShrinksWithLargeLambda(t *testing.T) {
+	rng := randx.New(3)
+	n := 200
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	var meanY float64
+	for i := range X {
+		a := rng.Uniform(-1, 1)
+		X[i] = []float64{a}
+		Y[i] = []float64{5 * a}
+		meanY += Y[i][0]
+	}
+	meanY /= float64(n)
+	r := New(1e9)
+	if err := r.Fit(&ml.Dataset{X: X, Y: Y}); err != nil {
+		t.Fatal(err)
+	}
+	// With a huge penalty the prediction collapses to the output mean.
+	if got := r.Predict([]float64{1}); math.Abs(got[0]-meanY) > 0.05 {
+		t.Errorf("heavily penalized prediction = %v, want ~mean %v", got[0], meanY)
+	}
+}
+
+func TestRidgeValidation(t *testing.T) {
+	if err := New(1).Fit(&ml.Dataset{}); err == nil {
+		t.Error("empty dataset should fail")
+	}
+	if New(0).Lambda != 1 {
+		t.Error("non-positive lambda should default to 1")
+	}
+	if New(2).Name() == "" {
+		t.Error("Name should render")
+	}
+}
+
+func TestRidgePredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Predict([]float64{1})
+}
+
+func TestRidgeDeterministic(t *testing.T) {
+	rng := randx.New(4)
+	n := 100
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.StdNormal(), rng.StdNormal()}
+		Y[i] = []float64{rng.StdNormal()}
+	}
+	d := &ml.Dataset{X: X, Y: Y}
+	r1, r2 := New(0.5), New(0.5)
+	if err := r1.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		q := []float64{rng.StdNormal(), rng.StdNormal()}
+		if a, b := r1.Predict(q), r2.Predict(q); a[0] != b[0] {
+			t.Fatal("ridge fit not deterministic")
+		}
+	}
+}

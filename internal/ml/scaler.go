@@ -1,0 +1,73 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// StandardScaler centers each feature to zero mean and scales it to unit
+// variance, the preprocessing the paper applies before kNN so that no
+// single perf-counter metric dominates the distance computation.
+// Constant features are left centered but unscaled.
+type StandardScaler struct {
+	Means, Scales []float64
+}
+
+// FitScaler computes per-column statistics over rows.
+func FitScaler(rows [][]float64) (*StandardScaler, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("ml: FitScaler on empty data")
+	}
+	nf := len(rows[0])
+	s := &StandardScaler{
+		Means:  make([]float64, nf),
+		Scales: make([]float64, nf),
+	}
+	for _, r := range rows {
+		if len(r) != nf {
+			return nil, fmt.Errorf("ml: FitScaler ragged rows (%d vs %d)", len(r), nf)
+		}
+		for j, v := range r {
+			s.Means[j] += v
+		}
+	}
+	n := float64(len(rows))
+	for j := range s.Means {
+		s.Means[j] /= n
+	}
+	for _, r := range rows {
+		for j, v := range r {
+			d := v - s.Means[j]
+			s.Scales[j] += d * d
+		}
+	}
+	for j := range s.Scales {
+		sd := math.Sqrt(s.Scales[j] / n)
+		if sd <= 0 {
+			sd = 1 // constant feature: center only
+		}
+		s.Scales[j] = sd
+	}
+	return s, nil
+}
+
+// Transform returns the scaled copy of one row.
+func (s *StandardScaler) Transform(x []float64) []float64 {
+	if len(x) != len(s.Means) {
+		panic(fmt.Sprintf("ml: Transform length %d, scaler has %d features", len(x), len(s.Means)))
+	}
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Means[j]) / s.Scales[j]
+	}
+	return out
+}
+
+// TransformAll scales every row.
+func (s *StandardScaler) TransformAll(rows [][]float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		out[i] = s.Transform(r)
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package xgb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/randx"
+)
+
+func synth(seed uint64, n int) *ml.Dataset {
+	rng := randx.New(seed)
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		a := rng.Uniform(-2, 2)
+		b := rng.Uniform(-2, 2)
+		X[i] = []float64{a, b}
+		Y[i] = []float64{a*a - b + 0.05*rng.StdNormal(), math.Cos(a) + 0.05*rng.StdNormal()}
+	}
+	return &ml.Dataset{X: X, Y: Y}
+}
+
+func TestXGBLearnsNonlinear(t *testing.T) {
+	train := synth(1, 1500)
+	test := synth(2, 300)
+	m := New(Config{NumRounds: 150, MaxDepth: 4, LearningRate: 0.15, Seed: 5})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	pred := make([][]float64, len(test.X))
+	for i, x := range test.X {
+		pred[i] = m.Predict(x)
+	}
+	if mse := ml.MSE(pred, test.Y); mse > 0.1 {
+		t.Errorf("xgb test MSE = %v, want < 0.1", mse)
+	}
+}
+
+func TestXGBBoostingReducesTrainError(t *testing.T) {
+	train := synth(3, 400)
+	few := New(Config{NumRounds: 3, Seed: 1})
+	many := New(Config{NumRounds: 100, Seed: 1})
+	if err := few.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := many.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	pf := make([][]float64, len(train.X))
+	pm := make([][]float64, len(train.X))
+	for i, x := range train.X {
+		pf[i] = few.Predict(x)
+		pm[i] = many.Predict(x)
+	}
+	if ml.MSE(pm, train.Y) >= ml.MSE(pf, train.Y) {
+		t.Errorf("more rounds did not reduce training error: %v vs %v",
+			ml.MSE(pm, train.Y), ml.MSE(pf, train.Y))
+	}
+}
+
+func TestXGBConstantTarget(t *testing.T) {
+	d := &ml.Dataset{
+		X: [][]float64{{1}, {2}, {3}},
+		Y: [][]float64{{5}, {5}, {5}},
+	}
+	m := New(Config{NumRounds: 10})
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{2}); math.Abs(got[0]-5) > 1e-9 {
+		t.Errorf("constant-target prediction = %v, want 5", got[0])
+	}
+}
+
+func TestXGBDeterministicWithSeed(t *testing.T) {
+	train := synth(6, 300)
+	m1 := New(Config{NumRounds: 30, Subsample: 0.8, ColSample: 0.5, Seed: 9})
+	m2 := New(Config{NumRounds: 30, Subsample: 0.8, ColSample: 0.5, Seed: 9})
+	if err := m1.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range train.X[:20] {
+		a, b := m1.Predict(x), m2.Predict(x)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatal("same seed gave different boosters")
+			}
+		}
+	}
+}
+
+func TestXGBSubsamplingStillLearns(t *testing.T) {
+	train := synth(7, 1000)
+	test := synth(8, 200)
+	m := New(Config{NumRounds: 120, MaxDepth: 4, Subsample: 0.7, ColSample: 0.8, Seed: 11})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	pred := make([][]float64, len(test.X))
+	for i, x := range test.X {
+		pred[i] = m.Predict(x)
+	}
+	if mse := ml.MSE(pred, test.Y); mse > 0.15 {
+		t.Errorf("subsampled xgb test MSE = %v, want < 0.15", mse)
+	}
+}
+
+func TestXGBGammaPrunes(t *testing.T) {
+	// Huge gamma forbids all splits: every tree is a single leaf, and
+	// with squared loss + lambda the prediction stays near the base.
+	train := synth(9, 200)
+	m := New(Config{NumRounds: 20, Gamma: 1e12, Seed: 2})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	var base float64
+	for _, y := range train.Y {
+		base += y[0]
+	}
+	base /= float64(len(train.Y))
+	got := m.Predict(train.X[0])
+	if math.Abs(got[0]-base) > 0.2*math.Abs(base)+0.2 {
+		t.Errorf("gamma-pruned prediction = %v, want ~base %v", got[0], base)
+	}
+}
+
+func TestXGBDefaults(t *testing.T) {
+	m := New(Config{})
+	c := m.cfg
+	if c.NumRounds != 100 || c.LearningRate != 0.1 || c.MaxDepth != 3 ||
+		c.Lambda != 1 || c.MinChildWeight != 1 || c.Subsample != 1 || c.ColSample != 1 {
+		t.Errorf("defaults = %+v", c)
+	}
+	if m.Name() == "" {
+		t.Error("Name should render")
+	}
+}
+
+func TestXGBValidation(t *testing.T) {
+	if err := New(Config{}).Fit(&ml.Dataset{}); err == nil {
+		t.Error("empty dataset should fail")
+	}
+}
+
+func TestXGBPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{}).Predict([]float64{1})
+}
+
+func TestXGBMultiOutputIndependence(t *testing.T) {
+	// Output 1 is pure noise w.r.t. features; output 0 is learnable.
+	// Learning output 0 must not be degraded by output 1's presence.
+	rng := randx.New(13)
+	n := 600
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		a := rng.Uniform(-1, 1)
+		X[i] = []float64{a}
+		Y[i] = []float64{3 * a, rng.StdNormal()}
+	}
+	m := New(Config{NumRounds: 80, Seed: 3})
+	if err := m.Fit(&ml.Dataset{X: X, Y: Y}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{0.5}); math.Abs(got[0]-1.5) > 0.2 {
+		t.Errorf("output 0 prediction = %v, want ~1.5", got[0])
+	}
+}

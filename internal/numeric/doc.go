@@ -1,0 +1,9 @@
+// Package numeric provides the small dense linear-algebra, quadrature,
+// root-finding, and interpolation kernels that the statistical and
+// maximum-entropy machinery of this repository is built on.
+//
+// The package is deliberately minimal: everything operates on float64
+// slices, nothing allocates behind the caller's back unless documented,
+// and all algorithms are deterministic. It replaces the NumPy/SciPy
+// numerical substrate used by the paper's original Python workflow.
+package numeric

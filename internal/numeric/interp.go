@@ -1,0 +1,89 @@
+package numeric
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LinearInterp evaluates the piecewise-linear interpolant through
+// (xs, ys) at x, clamping outside the domain. xs must be sorted ascending
+// and strictly increasing where it matters; equal consecutive xs are
+// tolerated (the left value wins).
+func LinearInterp(xs, ys []float64, x float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("numeric: LinearInterp length mismatch %d vs %d", len(xs), len(ys)))
+	}
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if x <= xs[0] {
+		return ys[0]
+	}
+	if x >= xs[n-1] {
+		return ys[n-1]
+	}
+	i := sort.SearchFloat64s(xs, x)
+	// xs[i-1] < x <= xs[i]
+	x0, x1 := xs[i-1], xs[i]
+	y0, y1 := ys[i-1], ys[i]
+	if x1 == x0 {
+		return y0
+	}
+	t := (x - x0) / (x1 - x0)
+	return y0 + t*(y1-y0)
+}
+
+// InverseMonotone inverts a monotone non-decreasing tabulated function:
+// given (xs, ys) with ys non-decreasing, it returns x such that
+// f(x) ≈ target. Used for inverse-CDF sampling from tabulated CDFs.
+func InverseMonotone(xs, ys []float64, target float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("numeric: InverseMonotone length mismatch %d vs %d", len(xs), len(ys)))
+	}
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if target <= ys[0] {
+		return xs[0]
+	}
+	if target >= ys[n-1] {
+		return xs[n-1]
+	}
+	i := sort.Search(n, func(k int) bool { return ys[k] >= target })
+	// ys[i-1] < target <= ys[i]
+	y0, y1 := ys[i-1], ys[i]
+	x0, x1 := xs[i-1], xs[i]
+	if y1 == y0 {
+		return x0
+	}
+	t := (target - y0) / (y1 - y0)
+	return x0 + t*(x1-x0)
+}
+
+// Linspace returns n evenly spaced points from a to b inclusive.
+// n must be at least 2.
+func Linspace(a, b float64, n int) []float64 {
+	if n < 2 {
+		panic(fmt.Sprintf("numeric: Linspace needs n >= 2, got %d", n))
+	}
+	out := make([]float64, n)
+	step := (b - a) / float64(n-1)
+	for i := range out {
+		out[i] = a + float64(i)*step
+	}
+	out[n-1] = b // avoid accumulation error at the endpoint
+	return out
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,208 @@
+package numeric
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestMatrixAtSet(t *testing.T) {
+	m := NewMatrix(3, 4)
+	m.Set(2, 3, 7.5)
+	m.Set(0, 0, -1)
+	if got := m.At(2, 3); got != 7.5 {
+		t.Errorf("At(2,3) = %v, want 7.5", got)
+	}
+	if got := m.At(0, 0); got != -1 {
+		t.Errorf("At(0,0) = %v, want -1", got)
+	}
+	if got := m.At(1, 1); got != 0 {
+		t.Errorf("At(1,1) = %v, want 0", got)
+	}
+}
+
+func TestMatrixFromRows(t *testing.T) {
+	m, err := MatrixFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatalf("MatrixFromRows: %v", err)
+	}
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("dims = %dx%d, want 3x2", m.Rows, m.Cols)
+	}
+	if m.At(1, 0) != 3 || m.At(2, 1) != 6 {
+		t.Errorf("wrong contents: %v", m.Data)
+	}
+}
+
+func TestMatrixFromRowsRagged(t *testing.T) {
+	if _, err := MatrixFromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("expected error for ragged rows")
+	}
+}
+
+func TestMatrixFromRowsEmpty(t *testing.T) {
+	m, err := MatrixFromRows(nil)
+	if err != nil {
+		t.Fatalf("MatrixFromRows(nil): %v", err)
+	}
+	if m.Rows != 0 {
+		t.Errorf("Rows = %d, want 0", m.Rows)
+	}
+}
+
+func TestMatrixClone(t *testing.T) {
+	m, _ := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y := m.MulVec([]float64{1, 0, -1})
+	if y[0] != -2 || y[1] != -2 {
+		t.Errorf("MulVec = %v, want [-2 -2]", y)
+	}
+}
+
+func TestSolveLinearKnown(t *testing.T) {
+	// 2x + y = 5; x - y = 1  =>  x = 2, y = 1
+	a, _ := MatrixFromRows([][]float64{{2, 1}, {1, -1}})
+	x, err := SolveLinear(a, []float64{5, 1})
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	if !almostEqual(x[0], 2, 1e-12) || !almostEqual(x[1], 1, 1e-12) {
+		t.Errorf("solution = %v, want [2 1]", x)
+	}
+}
+
+func TestSolveLinearIdentity(t *testing.T) {
+	n := 6
+	a := NewMatrix(n, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+		b[i] = float64(i + 1)
+	}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	for i := range x {
+		if !almostEqual(x[i], float64(i+1), 1e-14) {
+			t.Errorf("x[%d] = %v, want %d", i, x[i], i+1)
+		}
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected ErrSingular for rank-deficient matrix")
+	}
+}
+
+func TestSolveLinearZeroRow(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{0, 0}, {1, 1}})
+	if _, err := SolveLinear(a, []float64{0, 1}); err == nil {
+		t.Fatal("expected error for zero row")
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Zero pivot in the (0,0) position forces a row swap.
+	a, _ := MatrixFromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveLinear(a, []float64{3, 4})
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	if !almostEqual(x[0], 4, 1e-14) || !almostEqual(x[1], 3, 1e-14) {
+		t.Errorf("solution = %v, want [4 3]", x)
+	}
+}
+
+// Property: for random well-conditioned systems, A·x reproduces b.
+func TestSolveLinearRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(8)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonal dominance
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		orig := a.Clone()
+		borig := append([]float64(nil), b...)
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: SolveLinear: %v", trial, err)
+		}
+		back := orig.MulVec(x)
+		for i := range back {
+			if !almostEqual(back[i], borig[i], 1e-9) {
+				t.Fatalf("trial %d: residual too large: A·x=%v, b=%v", trial, back, borig)
+			}
+		}
+	}
+}
+
+func TestDotNorms(t *testing.T) {
+	x := []float64{3, 4}
+	if got := Dot(x, x); got != 25 {
+		t.Errorf("Dot = %v, want 25", got)
+	}
+	if got := Norm2(x); got != 5 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := NormInf([]float64{-7, 2, 6.5}); got != 7 {
+		t.Errorf("NormInf = %v, want 7", got)
+	}
+	if got := NormInf(nil); got != 0 {
+		t.Errorf("NormInf(nil) = %v, want 0", got)
+	}
+}
+
+func TestAXPYScale(t *testing.T) {
+	y := []float64{1, 2, 3}
+	AXPY(2, []float64{1, 1, 1}, y)
+	if y[0] != 3 || y[1] != 4 || y[2] != 5 {
+		t.Errorf("AXPY result = %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 1.5 || y[2] != 2.5 {
+		t.Errorf("Scale result = %v", y)
+	}
+}
+
+func TestDotCommutative(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		x, y := a[:], b[:]
+		// Bound magnitudes so products cannot overflow; exact
+		// commutativity only holds when every term is finite.
+		for i := range x {
+			x[i] = math.Mod(x[i], 1e6)
+			y[i] = math.Mod(y[i], 1e6)
+		}
+		return Dot(x, y) == Dot(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

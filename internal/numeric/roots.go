@@ -1,0 +1,113 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket is returned by Brent when the supplied interval does not
+// bracket a sign change.
+var ErrNoBracket = errors.New("numeric: root not bracketed")
+
+// ErrNoConverge is returned when an iterative method exhausts its
+// iteration budget without reaching tolerance.
+var ErrNoConverge = errors.New("numeric: iteration did not converge")
+
+// Brent finds a root of f in [a, b] using Brent's method. f(a) and f(b)
+// must have opposite signs (or one of them must be zero).
+func Brent(f func(float64) float64, a, b, tol float64, maxIter int) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if (fa > 0) == (fb > 0) {
+		return 0, ErrNoBracket
+	}
+	c, fc := a, fa
+	d, e := b-a, b-a
+	for i := 0; i < maxIter; i++ {
+		if (fb > 0) == (fc > 0) {
+			c, fc = a, fa
+			d = b - a
+			e = d
+		}
+		if math.Abs(fc) < math.Abs(fb) {
+			a, b, c = b, c, b
+			fa, fb, fc = fb, fc, fb
+		}
+		tol1 := 2*machEps*math.Abs(b) + 0.5*tol
+		xm := 0.5 * (c - b)
+		if math.Abs(xm) <= tol1 || fb == 0 {
+			return b, nil
+		}
+		if math.Abs(e) >= tol1 && math.Abs(fa) > math.Abs(fb) {
+			// Attempt inverse quadratic interpolation.
+			s := fb / fa
+			var p, q float64
+			if a == c {
+				p = 2 * xm * s
+				q = 1 - s
+			} else {
+				q = fa / fc
+				r := fb / fc
+				p = s * (2*xm*q*(q-r) - (b-a)*(r-1))
+				q = (q - 1) * (r - 1) * (s - 1)
+			}
+			if p > 0 {
+				q = -q
+			}
+			p = math.Abs(p)
+			if 2*p < math.Min(3*xm*q-math.Abs(tol1*q), math.Abs(e*q)) {
+				e = d
+				d = p / q
+			} else {
+				d = xm
+				e = d
+			}
+		} else {
+			d = xm
+			e = d
+		}
+		a, fa = b, fb
+		if math.Abs(d) > tol1 {
+			b += d
+		} else {
+			b += math.Copysign(tol1, xm)
+		}
+		fb = f(b)
+	}
+	return b, ErrNoConverge
+}
+
+const machEps = 2.220446049250313e-16
+
+// Bisect finds a root of f in [a, b] by bisection; it is slower than Brent
+// but immune to pathological interpolation and is used as a fallback.
+func Bisect(f func(float64) float64, a, b, tol float64, maxIter int) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if (fa > 0) == (fb > 0) {
+		return 0, ErrNoBracket
+	}
+	for i := 0; i < maxIter; i++ {
+		m := 0.5 * (a + b)
+		fm := f(m)
+		if fm == 0 || (b-a)/2 < tol {
+			return m, nil
+		}
+		if (fa > 0) == (fm > 0) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return 0.5 * (a + b), ErrNoConverge
+}

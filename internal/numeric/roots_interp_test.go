@@ -1,0 +1,121 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBrentSimpleRoot(t *testing.T) {
+	root, err := Brent(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12, 100)
+	if err != nil {
+		t.Fatalf("Brent: %v", err)
+	}
+	if !almostEqual(root, math.Sqrt2, 1e-10) {
+		t.Errorf("root = %v, want sqrt(2)", root)
+	}
+}
+
+func TestBrentRootAtEndpoint(t *testing.T) {
+	root, err := Brent(func(x float64) float64 { return x - 1 }, 1, 2, 1e-12, 100)
+	if err != nil || root != 1 {
+		t.Errorf("root = %v err = %v, want exactly 1", root, err)
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	if _, err := Brent(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-12, 100); err != ErrNoBracket {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBrentTranscendental(t *testing.T) {
+	// cos(x) = x near 0.739085...
+	root, err := Brent(func(x float64) float64 { return math.Cos(x) - x }, 0, 1, 1e-13, 200)
+	if err != nil {
+		t.Fatalf("Brent: %v", err)
+	}
+	if !almostEqual(root, 0.7390851332151607, 1e-10) {
+		t.Errorf("root = %v", root)
+	}
+}
+
+func TestBisectAgreesWithBrent(t *testing.T) {
+	f := func(x float64) float64 { return math.Exp(x) - 3 }
+	rb, err1 := Brent(f, 0, 2, 1e-12, 200)
+	rs, err2 := Bisect(f, 0, 2, 1e-12, 200)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errors: %v %v", err1, err2)
+	}
+	if !almostEqual(rb, rs, 1e-9) || !almostEqual(rb, math.Log(3), 1e-9) {
+		t.Errorf("Brent=%v Bisect=%v want ln3=%v", rb, rs, math.Log(3))
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	if _, err := Bisect(func(x float64) float64 { return 1.0 }, 0, 1, 1e-9, 50); err != ErrNoBracket {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestLinearInterp(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	ys := []float64{0, 10, 0}
+	cases := []struct{ x, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 5}, {1, 10}, {1.25, 7.5}, {2, 0}, {3, 0},
+	}
+	for _, c := range cases {
+		if got := LinearInterp(xs, ys, c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("LinearInterp(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLinearInterpDegenerate(t *testing.T) {
+	if got := LinearInterp([]float64{1}, []float64{5}, 3); got != 5 {
+		t.Errorf("single point interp = %v, want 5", got)
+	}
+	if got := LinearInterp(nil, nil, 3); got != 0 {
+		t.Errorf("empty interp = %v, want 0", got)
+	}
+}
+
+func TestInverseMonotone(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{0, 0.25, 0.75, 1}
+	cases := []struct{ target, want float64 }{
+		{0, 0}, {0.25, 1}, {0.5, 1.5}, {1, 3}, {-0.5, 0}, {1.5, 3},
+	}
+	for _, c := range cases {
+		if got := InverseMonotone(xs, ys, c.target); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("InverseMonotone(%v) = %v, want %v", c.target, got, c.want)
+		}
+	}
+}
+
+func TestInverseMonotoneFlatSegment(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	ys := []float64{0, 0.5, 0.5}
+	got := InverseMonotone(xs, ys, 0.5)
+	if got < 1 || got > 2 {
+		t.Errorf("flat-segment inverse = %v, want within [1,2]", got)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if !almostEqual(xs[i], want[i], 1e-15) {
+			t.Errorf("Linspace[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+	if xs[4] != 1 {
+		t.Error("endpoint must be exact")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}

@@ -1,0 +1,73 @@
+package pearson
+
+import (
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/stats"
+)
+
+func BenchmarkNewTypeI(b *testing.B) {
+	m := stats.Moments4{Mean: 1, Std: 0.05, Skew: 0.5, Kurt: 2.2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNewTypeIV(b *testing.B) {
+	// Type IV pays for its tabulated inverse CDF at construction.
+	m := stats.Moments4{Mean: 1, Std: 0.05, Skew: 0.5, Kurt: 4.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSample1000TypeI(b *testing.B) {
+	d, err := New(stats.Moments4{Mean: 1, Std: 0.05, Skew: 0.5, Kurt: 2.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.SampleN(rng, 1000)
+	}
+}
+
+func BenchmarkSample1000TypeIV(b *testing.B) {
+	d, err := New(stats.Moments4{Mean: 1, Std: 0.05, Skew: 0.5, Kurt: 4.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.SampleN(rng, 1000)
+	}
+}
+
+func BenchmarkSample1000TypeVI(b *testing.B) {
+	d, err := New(stats.Moments4{Mean: 1, Std: 0.05, Skew: 1.5, Kurt: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.SampleN(rng, 1000)
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Classify(0.8, 3.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package pearson
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/randx"
+	"repro/internal/stats"
+)
+
+// pdfTargets spans every Pearson type (same grid as the sampler
+// round-trip test).
+var pdfTargets = []stats.Moments4{
+	{Mean: 0, Std: 1, Skew: 0, Kurt: 3},       // 0
+	{Mean: 1, Std: 0.1, Skew: 0, Kurt: 1.8},   // II
+	{Mean: 0, Std: 1, Skew: 0, Kurt: 4.2},     // VII
+	{Mean: 1, Std: 1, Skew: 1, Kurt: 4.5},     // III
+	{Mean: 0, Std: 1, Skew: 0.5, Kurt: 2.2},   // I
+	{Mean: 0, Std: 1, Skew: 0.5, Kurt: 4.5},   // IV
+	{Mean: 0, Std: 1, Skew: 1.5, Kurt: 7},     // VI
+	{Mean: 2, Std: 0.5, Skew: -1.2, Kurt: 6},  // mirrored IV/VI region
+	{Mean: 10, Std: 3, Skew: -0.5, Kurt: 2.2}, // mirrored I
+}
+
+func TestPDFIntegratesToOne(t *testing.T) {
+	for _, target := range pdfTargets {
+		d, err := New(target)
+		if err != nil {
+			t.Fatalf("New(%+v): %v", target, err)
+		}
+		lo := target.Mean - 12*target.Std
+		hi := target.Mean + 12*target.Std
+		integral := numeric.Simpson(d.PDF, lo, hi, 8000)
+		if math.Abs(integral-1) > 0.01 {
+			t.Errorf("%+v (%v): PDF integrates to %v", target, d.PType, integral)
+		}
+	}
+}
+
+func TestPDFMatchesSampleHistogram(t *testing.T) {
+	for _, target := range pdfTargets {
+		d, err := New(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := d.SampleN(randx.New(11), 200000)
+		lo, hi := stats.Quantile(xs, 0.005), stats.Quantile(xs, 0.995)
+		h := stats.HistogramFromSample(xs, lo, hi, 40)
+		centers := h.BinCenters()
+		// Skip the boundary bins: the histogram clamps the tail mass
+		// beyond [lo, hi] into them, inflating their empirical density.
+		for i := 1; i < len(centers)-1; i++ {
+			want := h.Density(i)
+			got := d.PDF(centers[i])
+			// Compare where there is enough mass for the empirical
+			// density to be stable.
+			if want > 0.1/(hi-lo) && math.Abs(got-want) > 0.15*want+0.02 {
+				t.Errorf("%+v (%v): PDF(%v) = %v, empirical %v",
+					target, d.PType, centers[i], got, want)
+			}
+		}
+	}
+}
+
+func TestPDFMomentsMatchTargets(t *testing.T) {
+	// Independent check: integrate x·f and x²·f numerically.
+	for _, target := range pdfTargets {
+		d, err := New(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := target.Mean - 12*target.Std
+		hi := target.Mean + 12*target.Std
+		mean := numeric.Simpson(func(x float64) float64 { return x * d.PDF(x) }, lo, hi, 8000)
+		m2 := numeric.Simpson(func(x float64) float64 { return x * x * d.PDF(x) }, lo, hi, 8000)
+		sd := math.Sqrt(m2 - mean*mean)
+		if math.Abs(mean-target.Mean) > 0.02*(1+math.Abs(target.Mean)) {
+			t.Errorf("%+v (%v): PDF mean = %v", target, d.PType, mean)
+		}
+		if math.Abs(sd-target.Std) > 0.05*target.Std {
+			t.Errorf("%+v (%v): PDF std = %v", target, d.PType, sd)
+		}
+	}
+}
+
+func TestCDFProperties(t *testing.T) {
+	for _, target := range pdfTargets {
+		d, err := New(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Monotone, 0 at -inf side, 1 at +inf side.
+		prev := -1.0
+		for _, q := range []float64{-10, -2, -0.5, 0, 0.5, 2, 10} {
+			x := target.Mean + q*target.Std
+			c := d.CDF(x)
+			if c < prev-1e-9 {
+				t.Fatalf("%+v: CDF not monotone at %v", target, x)
+			}
+			if c < 0 || c > 1 {
+				t.Fatalf("%+v: CDF(%v) = %v", target, x, c)
+			}
+			prev = c
+		}
+		if c := d.CDF(target.Mean - 13*target.Std); c > 1e-3 {
+			t.Errorf("%+v: CDF far left = %v", target, c)
+		}
+		if c := d.CDF(target.Mean + 13*target.Std); c < 1-1e-3 {
+			t.Errorf("%+v: CDF far right = %v", target, c)
+		}
+	}
+}
+
+func TestCDFMatchesECDF(t *testing.T) {
+	for _, target := range pdfTargets {
+		d, err := New(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := d.SampleN(randx.New(21), 100000)
+		e := stats.NewECDF(xs)
+		for _, q := range []float64{-1.5, -0.5, 0, 0.5, 1.5} {
+			x := target.Mean + q*target.Std
+			got := d.CDF(x)
+			want := e.At(x)
+			if math.Abs(got-want) > 0.015 {
+				t.Errorf("%+v (%v): CDF(%v) = %v, ECDF %v", target, d.PType, x, got, want)
+			}
+		}
+	}
+}
+
+func TestDegeneratePDFCDF(t *testing.T) {
+	d, err := New(stats.Moments4{Mean: 5, Std: 0, Skew: 0, Kurt: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PDF(5) != 0 || d.PDF(4) != 0 {
+		t.Error("degenerate PDF should be 0 everywhere")
+	}
+	if d.CDF(4.9) != 0 || d.CDF(5.1) != 1 {
+		t.Error("degenerate CDF should step at the mean")
+	}
+}

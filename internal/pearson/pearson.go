@@ -1,0 +1,262 @@
+// Package pearson implements the Pearson distribution system: given a
+// target mean, standard deviation, skewness, and kurtosis, it classifies
+// the matching Pearson type (0, I–VII) and draws random variates from
+// that distribution. It is this repository's replacement for MATLAB's
+// pearsrnd, which the paper uses to turn predicted moments back into a
+// concrete performance distribution (the "PearsonRnd" representation).
+//
+// The implementation follows the classical parameterization of the
+// Pearson differential equation for a standardized variable x
+// (zero mean, unit variance):
+//
+//	p'(x)/p(x) = -(c1 + x) / (c0 + c1·x + c2·x²)
+//
+// with
+//
+//	c0 = (4·β2 − 3·β1) / A,
+//	c1 = γ1·(β2 + 3) / A,
+//	c2 = (2·β2 − 3·β1 − 6) / A,
+//	A  = 10·β2 − 12·β1 − 18,
+//
+// where γ1 is the skewness, β1 = γ1², and β2 is the (non-excess)
+// kurtosis. The sign of the roots/discriminant of the denominator
+// selects the type; each type maps onto a standard family (beta, gamma,
+// inverse-gamma, beta-prime, Student-t) except type IV, which is sampled
+// by numerical CDF inversion (see type4.go).
+package pearson
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/randx"
+	"repro/internal/stats"
+)
+
+// Type identifies a member of the Pearson system.
+type Type int
+
+// The Pearson types. Type0 is the normal distribution; TypeII and
+// TypeVII are the symmetric specializations (beta and Student-t).
+const (
+	Type0 Type = iota
+	TypeI
+	TypeII
+	TypeIII
+	TypeIV
+	TypeV
+	TypeVI
+	TypeVII
+)
+
+// String returns the conventional name of the type.
+func (t Type) String() string {
+	switch t {
+	case Type0:
+		return "0 (normal)"
+	case TypeI:
+		return "I (beta)"
+	case TypeII:
+		return "II (symmetric beta)"
+	case TypeIII:
+		return "III (gamma)"
+	case TypeIV:
+		return "IV"
+	case TypeV:
+		return "V (inverse gamma)"
+	case TypeVI:
+		return "VI (beta prime)"
+	case TypeVII:
+		return "VII (Student t)"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// ErrInfeasible is returned when the requested (skew, kurt) pair violates
+// the moment inequality kurt > skew² + 1 that every distribution obeys.
+var ErrInfeasible = errors.New("pearson: infeasible moments (need kurt > skew^2 + 1)")
+
+// Dist is a member of the Pearson system ready for sampling. Build one
+// with New.
+type Dist struct {
+	// PType is the classified Pearson type.
+	PType Type
+	// Target holds the requested moments.
+	Target stats.Moments4
+
+	mu, sigma float64
+	mirror    bool // standardized sampler was built for |skew|; negate output
+	// sample draws one standardized (zero-mean unit-variance) variate.
+	sample func(r *randx.RNG) float64
+	// pdf evaluates the standardized density (nil only for degenerate
+	// point masses).
+	pdf func(z float64) float64
+}
+
+const symmetryEps = 1e-8
+
+// Classify returns the Pearson type for a (skew, kurt) pair, without
+// building a sampler. It mirrors negative skew to positive (the type is
+// symmetric in the sign of the skew).
+func Classify(skew, kurt float64) (Type, error) {
+	g := math.Abs(skew)
+	if !(kurt > g*g+1) {
+		return 0, ErrInfeasible
+	}
+	c0, c1, c2, ok := coefficients(g, kurt)
+	if !ok {
+		return 0, ErrInfeasible
+	}
+	return classify(g, kurt, c0, c1, c2), nil
+}
+
+// coefficients computes the standardized Pearson ODE coefficients,
+// nudging the kurtosis when the shared denominator vanishes (a
+// measure-zero parameterization singularity, not a property of the
+// distribution family).
+func coefficients(g, kurt float64) (c0, c1, c2 float64, ok bool) {
+	b1 := g * g
+	b2 := kurt
+	denom := 10*b2 - 12*b1 - 18
+	for math.Abs(denom) < 1e-9 {
+		b2 += 1e-6
+		denom = 10*b2 - 12*b1 - 18
+	}
+	c0 = (4*b2 - 3*b1) / denom
+	c1 = g * (b2 + 3) / denom
+	c2 = (2*b2 - 3*b1 - 6) / denom
+	if math.IsNaN(c0) || math.IsNaN(c1) || math.IsNaN(c2) {
+		return 0, 0, 0, false
+	}
+	return c0, c1, c2, true
+}
+
+func classify(g, kurt, c0, c1, c2 float64) Type {
+	if g < symmetryEps {
+		switch {
+		case math.Abs(kurt-3) < 1e-8:
+			return Type0
+		case kurt < 3:
+			return TypeII
+		default:
+			return TypeVII
+		}
+	}
+	if math.Abs(c2) < 1e-9 {
+		return TypeIII
+	}
+	kappa := c1 * c1 / (4 * c0 * c2)
+	switch {
+	case kappa < 0:
+		return TypeI
+	case math.Abs(kappa-1) < 1e-7:
+		return TypeV
+	case kappa < 1:
+		return TypeIV
+	default:
+		return TypeVI
+	}
+}
+
+// New builds a Pearson distribution matching the four target moments.
+// A zero (or negative, clamped to zero) standard deviation yields a
+// degenerate point mass at the mean. Infeasible (skew, kurt) pairs
+// return ErrInfeasible; callers that obtained moments from a regression
+// model should clamp with ClampFeasible first.
+func New(target stats.Moments4) (*Dist, error) {
+	if math.IsNaN(target.Mean) || math.IsNaN(target.Std) ||
+		math.IsNaN(target.Skew) || math.IsNaN(target.Kurt) {
+		return nil, fmt.Errorf("pearson: NaN in target moments %+v", target)
+	}
+	d := &Dist{Target: target, mu: target.Mean, sigma: target.Std}
+	if target.Std <= 0 {
+		d.sigma = 0
+		d.PType = Type0
+		d.sample = func(*randx.RNG) float64 { return 0 }
+		return d, nil
+	}
+	g := target.Skew
+	d.mirror = g < 0
+	if d.mirror {
+		g = -g
+	}
+	kurt := target.Kurt
+	if !(kurt > g*g+1+1e-12) {
+		return nil, ErrInfeasible
+	}
+	c0, c1, c2, ok := coefficients(g, kurt)
+	if !ok {
+		return nil, ErrInfeasible
+	}
+	d.PType = classify(g, kurt, c0, c1, c2)
+
+	var err error
+	switch d.PType {
+	case Type0:
+		d.sample = func(r *randx.RNG) float64 { return r.StdNormal() }
+		d.pdf = stdNormalPDF
+	case TypeI, TypeII:
+		d.sample, d.pdf, err = betaSampler(c0, c1, c2)
+	case TypeIII:
+		d.sample, d.pdf, err = gammaSampler(c0, c1)
+	case TypeIV:
+		d.sample, d.pdf, err = type4Sampler(g, kurt)
+	case TypeV:
+		d.sample, d.pdf, err = invGammaSampler(c1, c2)
+	case TypeVI:
+		d.sample, d.pdf, err = betaPrimeSampler(c0, c1, c2)
+	case TypeVII:
+		d.sample, d.pdf, err = studentTSampler(kurt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Sample draws one variate.
+func (d *Dist) Sample(r *randx.RNG) float64 {
+	x := d.sample(r)
+	if d.mirror {
+		x = -x
+	}
+	return d.mu + d.sigma*x
+}
+
+// SampleN draws n variates.
+func (d *Dist) SampleN(r *randx.RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(r)
+	}
+	return out
+}
+
+// ClampFeasible returns a copy of m whose (skew, kurt) pair is nudged
+// into the feasible region kurt > skew² + 1 (with margin), and whose
+// standard deviation is clamped to be non-negative. Prediction models
+// regress the four moments independently, so their outputs can land
+// slightly outside the feasible region; this restores validity while
+// staying as close as possible to the prediction.
+func ClampFeasible(m stats.Moments4) stats.Moments4 {
+	const margin = 0.05
+	out := m
+	if math.IsNaN(out.Mean) {
+		out.Mean = 1
+	}
+	if math.IsNaN(out.Std) || out.Std < 0 {
+		out.Std = 0
+	}
+	if math.IsNaN(out.Skew) {
+		out.Skew = 0
+	}
+	if math.IsNaN(out.Kurt) {
+		out.Kurt = 3
+	}
+	if lo := out.Skew*out.Skew + 1 + margin; out.Kurt < lo {
+		out.Kurt = lo
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+package pearson
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/stats"
+)
+
+func TestClassifyKnownTypes(t *testing.T) {
+	cases := []struct {
+		name       string
+		skew, kurt float64
+		want       Type
+	}{
+		{"normal", 0, 3, Type0},
+		{"uniform-like", 0, 1.8, TypeII},
+		{"arcsine-like", 0, 1.5, TypeII},
+		{"heavy symmetric", 0, 5, TypeVII},
+		{"gamma boundary", 1, 4.5, TypeIII}, // 2·4.5 − 3·1 − 6 = 0
+		{"beta region", 0.5, 2.2, TypeI},
+		{"lognormal-ish", 1.5, 7, TypeVI},
+		{"mild skew high kurt", 0.5, 4.5, TypeIV},
+		{"negative skew mirrors", -1.5, 7, TypeVI},
+	}
+	for _, c := range cases {
+		got, err := Classify(c.skew, c.kurt)
+		if err != nil {
+			t.Errorf("%s: Classify(%v, %v) error: %v", c.name, c.skew, c.kurt, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: Classify(%v, %v) = %v, want %v", c.name, c.skew, c.kurt, got, c.want)
+		}
+	}
+}
+
+func TestClassifyInfeasible(t *testing.T) {
+	for _, c := range []struct{ skew, kurt float64 }{
+		{0, 1},    // Bernoulli boundary
+		{0, 0.5},  // below boundary
+		{2, 5},    // kurt == skew²+1 exactly
+		{1, 1.99}, // below
+	} {
+		if _, err := Classify(c.skew, c.kurt); err == nil {
+			t.Errorf("Classify(%v, %v) should be infeasible", c.skew, c.kurt)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for ty := Type0; ty <= TypeVII; ty++ {
+		if ty.String() == "" {
+			t.Errorf("empty String for type %d", int(ty))
+		}
+	}
+	if Type(99).String() == "" {
+		t.Error("unknown type should still render")
+	}
+}
+
+// TestMomentRoundTrip is the central validation of the pearsrnd
+// replacement: for a grid of target moments spanning every Pearson type,
+// sampling must reproduce all four moments.
+func TestMomentRoundTrip(t *testing.T) {
+	targets := []stats.Moments4{
+		{Mean: 0, Std: 1, Skew: 0, Kurt: 3},       // 0
+		{Mean: 5, Std: 2, Skew: 0, Kurt: 3},       // 0 scaled
+		{Mean: 1, Std: 0.1, Skew: 0, Kurt: 1.8},   // II (uniform-like)
+		{Mean: 0, Std: 1, Skew: 0, Kurt: 2.4},     // II
+		{Mean: 0, Std: 1, Skew: 0, Kurt: 4.2},     // VII
+		{Mean: 2, Std: 0.5, Skew: 0, Kurt: 6},     // VII heavy
+		{Mean: 1, Std: 1, Skew: 1, Kurt: 4.5},     // III (gamma)
+		{Mean: 0, Std: 1, Skew: -1, Kurt: 4.5},    // III mirrored
+		{Mean: 0, Std: 1, Skew: 0.5, Kurt: 2.2},   // I
+		{Mean: 10, Std: 3, Skew: -0.5, Kurt: 2.2}, // I mirrored
+		{Mean: 0, Std: 1, Skew: 0.8, Kurt: 2.9},   // I
+		{Mean: 0, Std: 1, Skew: 0.5, Kurt: 4.5},   // IV
+		{Mean: 1, Std: 0.2, Skew: 1.2, Kurt: 5.8}, // IV
+		{Mean: 0, Std: 1, Skew: -0.7, Kurt: 5},    // IV mirrored
+		{Mean: 0, Std: 1, Skew: 1.5, Kurt: 7},     // VI
+		{Mean: 100, Std: 10, Skew: 2, Kurt: 10.5}, // VI strong skew
+		{Mean: 0, Std: 1, Skew: -1.5, Kurt: 7},    // VI mirrored
+	}
+	const n = 400000
+	for _, target := range targets {
+		d, err := New(target)
+		if err != nil {
+			t.Errorf("New(%+v): %v", target, err)
+			continue
+		}
+		r := randx.New(777)
+		xs := d.SampleN(r, n)
+		got := stats.ComputeMoments4(xs)
+		// Tolerances scale with the difficulty: higher kurtosis means
+		// slower Monte-Carlo convergence of the 3rd/4th moments.
+		kurtTol := 0.05*target.Kurt + 0.15
+		skewTol := 0.06 + 0.02*math.Abs(target.Skew)*target.Kurt
+		if math.Abs(got.Mean-target.Mean) > 0.02*(1+math.Abs(target.Mean)) {
+			t.Errorf("%v (%v): mean = %v, want %v", target, d.PType, got.Mean, target.Mean)
+		}
+		if math.Abs(got.Std-target.Std) > 0.03*(1+target.Std) {
+			t.Errorf("%v (%v): std = %v, want %v", target, d.PType, got.Std, target.Std)
+		}
+		if math.Abs(got.Skew-target.Skew) > skewTol {
+			t.Errorf("%v (%v): skew = %v, want %v", target, d.PType, got.Skew, target.Skew)
+		}
+		if math.Abs(got.Kurt-target.Kurt) > kurtTol {
+			t.Errorf("%v (%v): kurt = %v, want %v", target, d.PType, got.Kurt, target.Kurt)
+		}
+	}
+}
+
+// TestTypeVRoundTrip constructs moments lying exactly on the type V
+// locus (κ = 1) and verifies classification and sampling there.
+func TestTypeVRoundTrip(t *testing.T) {
+	// For fixed skew, find kurt where kappa(skew, kurt) == 1 by bisection.
+	skew := 1.0
+	kappaMinus1 := func(kurt float64) float64 {
+		c0, c1, c2, ok := coefficients(skew, kurt)
+		if !ok {
+			return math.NaN()
+		}
+		return c1*c1/(4*c0*c2) - 1
+	}
+	lo, hi := 4.51, 20.0 // type III boundary is at 4.5 for skew=1
+	flo := kappaMinus1(lo)
+	kurtV := 0.0
+	found := false
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		fm := kappaMinus1(mid)
+		if math.Abs(fm) < 1e-12 {
+			kurtV = mid
+			found = true
+			break
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+		kurtV = mid
+		found = true
+	}
+	if !found {
+		t.Fatal("could not locate type V locus")
+	}
+	ty, err := Classify(skew, kurtV)
+	if err != nil {
+		t.Fatalf("Classify on V locus: %v", err)
+	}
+	if ty != TypeV {
+		t.Fatalf("Classify(%v, %v) = %v, want TypeV", skew, kurtV, ty)
+	}
+	target := stats.Moments4{Mean: 0, Std: 1, Skew: skew, Kurt: kurtV}
+	d, err := New(target)
+	if err != nil {
+		t.Fatalf("New type V: %v", err)
+	}
+	xs := d.SampleN(randx.New(999), 400000)
+	got := stats.ComputeMoments4(xs)
+	if math.Abs(got.Mean) > 0.02 || math.Abs(got.Std-1) > 0.03 {
+		t.Errorf("type V mean/std = %v/%v, want 0/1", got.Mean, got.Std)
+	}
+	if math.Abs(got.Skew-skew) > 0.15 {
+		t.Errorf("type V skew = %v, want %v", got.Skew, skew)
+	}
+	if math.Abs(got.Kurt-kurtV) > 0.1*kurtV {
+		t.Errorf("type V kurt = %v, want %v", got.Kurt, kurtV)
+	}
+}
+
+func TestDegenerateStd(t *testing.T) {
+	d, err := New(stats.Moments4{Mean: 3, Std: 0, Skew: 0, Kurt: 3})
+	if err != nil {
+		t.Fatalf("New degenerate: %v", err)
+	}
+	r := randx.New(1)
+	for i := 0; i < 10; i++ {
+		if got := d.Sample(r); got != 3 {
+			t.Fatalf("degenerate sample = %v, want 3", got)
+		}
+	}
+}
+
+func TestNewRejectsNaN(t *testing.T) {
+	if _, err := New(stats.Moments4{Mean: math.NaN(), Std: 1, Skew: 0, Kurt: 3}); err == nil {
+		t.Error("expected error for NaN mean")
+	}
+}
+
+func TestNewRejectsInfeasible(t *testing.T) {
+	if _, err := New(stats.Moments4{Mean: 0, Std: 1, Skew: 2, Kurt: 4}); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestMirrorSymmetry(t *testing.T) {
+	// Sampling with skew γ and −γ from the same seed must be exact mirrors.
+	pos, err := New(stats.Moments4{Mean: 0, Std: 1, Skew: 1.2, Kurt: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg, err := New(stats.Moments4{Mean: 0, Std: 1, Skew: -1.2, Kurt: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pos.SampleN(randx.New(5), 100)
+	b := neg.SampleN(randx.New(5), 100)
+	for i := range a {
+		if math.Abs(a[i]+b[i]) > 1e-12 {
+			t.Fatalf("mirror broken at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestClampFeasible(t *testing.T) {
+	cases := []struct {
+		in stats.Moments4
+		ok func(stats.Moments4) bool
+	}{
+		{stats.Moments4{Mean: 1, Std: 0.1, Skew: 2, Kurt: 3}, func(m stats.Moments4) bool { return m.Kurt > 5 }},
+		{stats.Moments4{Mean: 1, Std: -0.5, Skew: 0, Kurt: 3}, func(m stats.Moments4) bool { return m.Std == 0 }},
+		{stats.Moments4{Mean: math.NaN(), Std: 1, Skew: 0, Kurt: 3}, func(m stats.Moments4) bool { return m.Mean == 1 }},
+		{stats.Moments4{Mean: 1, Std: 1, Skew: math.NaN(), Kurt: math.NaN()}, func(m stats.Moments4) bool { return m.Skew == 0 && m.Kurt >= 3 }},
+		{stats.Moments4{Mean: 1, Std: 1, Skew: 0, Kurt: 3}, func(m stats.Moments4) bool { return m.Kurt == 3 }},
+	}
+	for i, c := range cases {
+		got := ClampFeasible(c.in)
+		if !c.ok(got) {
+			t.Errorf("case %d: ClampFeasible(%+v) = %+v fails invariant", i, c.in, got)
+		}
+		if got.Std > 0 {
+			if _, err := New(got); err != nil {
+				t.Errorf("case %d: clamped moments still rejected: %v", i, err)
+			}
+		}
+	}
+}
+
+// Property: for any random feasible moment vector, New succeeds and the
+// sampler's first two moments converge.
+func TestRandomFeasibleMoments(t *testing.T) {
+	r := randx.New(2024)
+	for trial := 0; trial < 25; trial++ {
+		skew := r.Uniform(-2, 2)
+		kurt := skew*skew + 1 + 0.1 + r.Uniform(0, 8)
+		target := stats.Moments4{
+			Mean: r.Uniform(-5, 5),
+			Std:  r.Uniform(0.05, 3),
+			Skew: skew,
+			Kurt: kurt,
+		}
+		d, err := New(target)
+		if err != nil {
+			t.Errorf("trial %d: New(%+v): %v", trial, target, err)
+			continue
+		}
+		xs := d.SampleN(r.Split(), 60000)
+		got := stats.ComputeMoments4(xs)
+		if math.Abs(got.Mean-target.Mean) > 0.05*(1+math.Abs(target.Mean))+0.05 {
+			t.Errorf("trial %d (%v): mean %v vs %v", trial, d.PType, got.Mean, target.Mean)
+		}
+		if math.Abs(got.Std-target.Std) > 0.1*target.Std+0.05 {
+			t.Errorf("trial %d (%v): std %v vs %v", trial, d.PType, got.Std, target.Std)
+		}
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	target := stats.Moments4{Mean: 1, Std: 0.3, Skew: 0.9, Kurt: 5}
+	d1, _ := New(target)
+	d2, _ := New(target)
+	a := d1.SampleN(randx.New(8), 50)
+	b := d2.SampleN(randx.New(8), 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package pearson
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/randx"
+)
+
+// betaSampler handles types I and II: the denominator quadratic
+// c0 + c1·x + c2·x² has real roots a1 < a2 of opposite sign, and the
+// density is (x−a1)^m1·(a2−x)^m2 on (a1, a2) — a shifted, scaled beta.
+// The returned sampler is standardized analytically using the beta
+// distribution's exact mean and variance.
+func betaSampler(c0, c1, c2 float64) (func(*randx.RNG) float64, func(float64) float64, error) {
+	disc := c1*c1 - 4*c0*c2
+	if disc < 0 {
+		return nil, nil, fmt.Errorf("pearson: type I with complex roots (disc=%v)", disc)
+	}
+	s := math.Sqrt(disc)
+	a1 := (-c1 - s) / (2 * c2)
+	a2 := (-c1 + s) / (2 * c2)
+	if a1 > a2 {
+		a1, a2 = a2, a1
+	}
+	span := a2 - a1
+	if span <= 0 {
+		return nil, nil, fmt.Errorf("pearson: type I with empty support [%v, %v]", a1, a2)
+	}
+	m1 := (c1 + a1) / (c2 * span)
+	m2 := -(c1 + a2) / (c2 * span)
+	alpha, beta := m1+1, m2+1
+	if alpha <= 0 || beta <= 0 {
+		return nil, nil, fmt.Errorf("pearson: type I with invalid beta shapes (%v, %v)", alpha, beta)
+	}
+	ab := alpha + beta
+	meanY := alpha / ab
+	sdY := math.Sqrt(alpha * beta / (ab * ab * (ab + 1)))
+	mean := a1 + span*meanY
+	sd := span * sdY
+	sample := func(r *randx.RNG) float64 {
+		return (a1 + span*r.Beta(alpha, beta) - mean) / sd
+	}
+	return sample, betaPDFOn(alpha, beta, a1, a2, mean, sd), nil
+}
+
+// gammaSampler handles type III (c2 == 0): the density solves
+// p'/p = −(c1+x)/(c0+c1·x), a gamma distribution with shape c0/c1²
+// and scale c1, shifted so the mean is zero.
+func gammaSampler(c0, c1 float64) (func(*randx.RNG) float64, func(float64) float64, error) {
+	if c1 <= 0 {
+		return nil, nil, fmt.Errorf("pearson: type III needs c1 > 0, got %v", c1)
+	}
+	shape := c0 / (c1 * c1)
+	if shape <= 0 {
+		return nil, nil, fmt.Errorf("pearson: type III with non-positive shape %v", shape)
+	}
+	mean := shape * c1
+	sd := math.Sqrt(shape) * c1
+	sample := func(r *randx.RNG) float64 {
+		return (r.Gamma(shape, c1) - mean) / sd
+	}
+	return sample, gammaPDFShifted(shape, c1, mean, sd), nil
+}
+
+// invGammaSampler handles type V (κ == 1): with C1 = c1/(2·c2) the
+// density in u = x + C1 is u^(−1/c2)·exp(−b/u), an inverse gamma with
+// shape 1/c2 − 1 and scale b = (C1 − c1)/c2.
+func invGammaSampler(c1, c2 float64) (func(*randx.RNG) float64, func(float64) float64, error) {
+	if c2 == 0 {
+		return nil, nil, fmt.Errorf("pearson: type V needs c2 != 0")
+	}
+	C1 := c1 / (2 * c2)
+	alpha := 1/c2 - 1
+	b := (C1 - c1) / c2
+	if alpha <= 2 {
+		return nil, nil, fmt.Errorf("pearson: type V shape %v <= 2 has no finite variance", alpha)
+	}
+	flip := false
+	if b < 0 {
+		// Support is u < 0; sample the mirrored positive branch.
+		b = -b
+		flip = true
+	}
+	meanU := b / (alpha - 1)
+	sdU := b / ((alpha - 1) * math.Sqrt(alpha-2))
+	sample := func(r *randx.RNG) float64 {
+		u := r.InvGamma(alpha, b)
+		x := (u - meanU) / sdU
+		if flip {
+			x = -x
+		}
+		return x
+	}
+	return sample, invGammaPDFShifted(alpha, b, meanU, sdU, flip), nil
+}
+
+// betaPrimeSampler handles type VI (κ > 1): both roots of the
+// denominator quadratic share a sign; with a1 < a2 the density on
+// x > a2 is (x−a1)^m1·(x−a2)^m2, which maps onto a beta-prime
+// distribution with shapes (m2+1, −(m1+m2+1)) under
+// y = (x − a2)/(a2 − a1).
+func betaPrimeSampler(c0, c1, c2 float64) (func(*randx.RNG) float64, func(float64) float64, error) {
+	disc := c1*c1 - 4*c0*c2
+	if disc < 0 {
+		return nil, nil, fmt.Errorf("pearson: type VI with complex roots (disc=%v)", disc)
+	}
+	s := math.Sqrt(disc)
+	a1 := (-c1 - s) / (2 * c2)
+	a2 := (-c1 + s) / (2 * c2)
+	if a1 > a2 {
+		a1, a2 = a2, a1
+	}
+	span := a2 - a1
+	if span <= 0 {
+		return nil, nil, fmt.Errorf("pearson: type VI with degenerate roots %v, %v", a1, a2)
+	}
+	m1 := (c1 + a1) / (c2 * span)
+	m2 := -(c1 + a2) / (c2 * span)
+	p := m2 + 1
+	q := -(m1 + m2 + 1)
+	if p <= 0 || q <= 2 {
+		return nil, nil, fmt.Errorf("pearson: type VI with invalid beta-prime shapes (%v, %v)", p, q)
+	}
+	meanY := p / (q - 1)
+	varY := p * (p + q - 1) / ((q - 2) * (q - 1) * (q - 1))
+	mean := a2 + span*meanY
+	sd := span * math.Sqrt(varY)
+	sample := func(r *randx.RNG) float64 {
+		return (a2 + span*r.BetaPrime(p, q) - mean) / sd
+	}
+	return sample, betaPrimePDFOn(p, q, a2, span, mean, sd), nil
+}
+
+// studentTSampler handles type VII (symmetric, kurt > 3): a Student-t
+// with ν = 4 + 6/(kurt−3) degrees of freedom, rescaled to unit variance.
+func studentTSampler(kurt float64) (func(*randx.RNG) float64, func(float64) float64, error) {
+	if !(kurt > 3) {
+		return nil, nil, fmt.Errorf("pearson: type VII needs kurt > 3, got %v", kurt)
+	}
+	nu := 4 + 6/(kurt-3)
+	scale := math.Sqrt((nu - 2) / nu)
+	sample := func(r *randx.RNG) float64 {
+		return r.StudentT(nu) * scale
+	}
+	return sample, studentTPDF(nu, scale), nil
+}

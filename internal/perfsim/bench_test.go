@@ -1,0 +1,47 @@
+package perfsim
+
+import (
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func BenchmarkRunSingle(b *testing.B) {
+	m := NewMachine(NewIntelSystem())
+	w, _ := FindWorkload("specomp/376")
+	bench := m.Bench(w)
+	rng := randx.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bench.Run(rng)
+	}
+}
+
+func BenchmarkRun1000(b *testing.B) {
+	m := NewMachine(NewAMDSystem())
+	w, _ := FindWorkload("parsec/canneal")
+	bench := m.Bench(w)
+	rng := randx.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bench.RunN(rng, 1000)
+	}
+}
+
+func BenchmarkNewRuntimeDist(b *testing.B) {
+	w, _ := FindWorkload("mllib/correlation")
+	s := NewIntelSystem()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewRuntimeDist(w, s)
+	}
+}
+
+func BenchmarkBuildRates(b *testing.B) {
+	w, _ := FindWorkload("npb/cg")
+	s := NewIntelSystem()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = buildRates(w, s)
+	}
+}

@@ -1,0 +1,264 @@
+package perfsim
+
+import "fmt"
+
+// metricKind categorizes how a counter accumulates during a run. The
+// distinction drives how the per-second feature of the counter reacts to
+// the run's outcome:
+//
+//   - workKind counters measure fixed work (instructions, loads): their
+//     total is roughly constant per run, so slow runs show *lower*
+//     per-second rates — exactly how real fixed-work benchmarks behave;
+//   - timeKind counters accrue with wall time (cycles, stall cycles):
+//     their per-second rate is roughly constant;
+//   - missKind counters are the *cause* of slow modes (cache misses,
+//     remote-node traffic): their totals are boosted in slow modes;
+//   - osKind counters accrue with time and spike on straggler runs
+//     (context switches, faults);
+//   - clockKind counters are derived directly from the run duration
+//     (duration_time, task-clock).
+type metricKind int
+
+const (
+	workKind metricKind = iota
+	timeKind
+	missKind
+	osKind
+	clockKind
+)
+
+// metricSpec ties one Table II/III metric name to the latent event
+// stream it observes.
+type metricSpec struct {
+	kind metricKind
+	// rate extracts the nominal per-second rate from a rateSet.
+	// Unused for clockKind.
+	rate func(*rateSet) float64
+	// noise is the lognormal per-run measurement-noise sigma.
+	noise float64
+	// modeSens scales how strongly slow performance modes inflate the
+	// count (missKind and stall-type timeKind metrics).
+	modeSens float64
+	// tailSens scales how strongly straggler runs inflate the count.
+	tailSens float64
+	// freqSens couples the count to the run's frequency deviation.
+	freqSens float64
+}
+
+// specFor resolves a metric name from either system's schema to its
+// generator specification. Unknown names panic: the schema tables and
+// this mapping must stay in sync (enforced by tests).
+func specFor(name string) metricSpec {
+	hw := 0.015 // baseline hardware-counter noise
+	os := 0.18  // OS event counts are small and noisy
+	switch name {
+	// Core work counters.
+	case "instructions", "inst_retired.any":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.ins }, noise: hw}
+	case "macro_ops_retired":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.macroOps }, noise: hw}
+	case "lsd.uops":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.lsdUops }, noise: 0.03}
+	case "op_cache_hit_miss.all_op_cache_accesses":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.opCache }, noise: 0.02}
+
+	// Cycle/time counters.
+	case "cpu-cycles", "cpu_clk_unhalted.distributed":
+		return metricSpec{kind: timeKind, rate: func(r *rateSet) float64 { return r.cycles }, noise: 0.008, freqSens: 1}
+	case "ref-cycles":
+		return metricSpec{kind: timeKind, rate: func(r *rateSet) float64 { return r.refCycles }, noise: 0.008}
+	case "bus-cycles":
+		return metricSpec{kind: timeKind, rate: func(r *rateSet) float64 { return r.busCycles }, noise: 0.01}
+	case "slots":
+		return metricSpec{kind: timeKind, rate: func(r *rateSet) float64 { return r.slots }, noise: 0.008, freqSens: 1}
+
+	// Branches.
+	case "branch-instructions", "branch-loads", "br_inst_retired.all_branches":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.branch }, noise: hw}
+	case "branch-misses", "branch-load-misses", "br_misp_retired.all_branches":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.branchMiss }, noise: 0.03, modeSens: 0.3}
+	case "bp_l1_btb_correct":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.btbL1 }, noise: 0.02}
+	case "bp_l2_btb_correct":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.btbL2 }, noise: 0.02}
+
+	// Generic cache events.
+	case "cache-references":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.llcAccess }, noise: 0.025, modeSens: 0.2}
+	case "cache-misses":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.llcMissTotal }, noise: 0.04, modeSens: 1.2}
+
+	// L1 data/instruction cache.
+	case "L1-dcache-loads", "mem_inst_retired.all_loads":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.l1Load }, noise: hw}
+	case "L1-dcache-stores", "mem_inst_retired.all_stores":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.l1Store }, noise: hw}
+	case "L1-dcache-load-misses":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.l1Miss }, noise: 0.03, modeSens: 0.5}
+	case "l1d.replacement", "l1_data_cache_fills_all":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.l1Miss * 1.05 }, noise: 0.03, modeSens: 0.8}
+	case "L1-dcache-prefetches":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.l1Prefetch }, noise: 0.04}
+	case "L1-icache-loads", "ic_tag_hit_miss.instruction_cache_hit", "iTLB-loads":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.icLoad }, noise: 0.02}
+	case "L1-icache-load-misses", "ic_tag_hit_miss.instruction_cache_miss":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.icMiss }, noise: 0.04, modeSens: 0.3}
+	case "mem_inst_retired.lock_loads":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.lockLoad }, noise: 0.05}
+
+	// L2.
+	case "l2_lines_in.all":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.l2Miss }, noise: 0.03, modeSens: 0.8}
+	case "l2_rqsts.all_demand_miss", "l2_cache_misses_from_dc_misses":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.l2Miss }, noise: 0.03, modeSens: 1.0}
+	case "l2_rqsts.all_rfo":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.l2RFO }, noise: 0.03}
+	case "l2_trans.l2_wb":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.l2WB }, noise: 0.04, modeSens: 0.5}
+	case "l2_cache_accesses_from_dc_misses":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.l2Access }, noise: 0.03, modeSens: 0.5}
+	case "l2_cache_accesses_from_ic_misses":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.icMiss }, noise: 0.04, modeSens: 0.3}
+	case "l2_cache_hits_from_dc_misses":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.l2Hit }, noise: 0.03, modeSens: 0.3}
+	case "l2_cache_hits_from_ic_misses":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.icMiss * 0.9 }, noise: 0.04, modeSens: 0.2}
+	case "l2_cache_hits_from_l2_hwpf":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.l2HWPF }, noise: 0.05}
+	case "l2_cache_misses_from_ic_miss":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.icMiss * 0.1 }, noise: 0.06, modeSens: 0.3}
+
+	// LLC / L3.
+	case "LLC-loads":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.llcLoad }, noise: 0.03, modeSens: 0.3}
+	case "LLC-load-misses":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.llcLoadMiss }, noise: 0.04, modeSens: 1.5}
+	case "LLC-stores":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.llcStore }, noise: 0.03}
+	case "LLC-store-misses":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.llcStoreMiss }, noise: 0.04, modeSens: 1.2}
+	case "longest_lat_cache.miss":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.llcMissTotal }, noise: 0.04, modeSens: 1.4}
+	case "l3_cache_accesses":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.llcAccess }, noise: 0.03, modeSens: 0.3}
+	case "l3_misses":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.llcMissTotal }, noise: 0.04, modeSens: 1.5}
+	case "l1_data_cache_fills_from_memory":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.memFill }, noise: 0.04, modeSens: 1.5}
+	case "l1_data_cache_fills_from_remote_node":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.remoteFill }, noise: 0.06, modeSens: 3.0}
+	case "l1_data_cache_fills_from_external_ccx_cache":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.ccxExternal }, noise: 0.05, modeSens: 2.0}
+	case "l1_data_cache_fills_from_within_same_ccx":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.ccxLocal }, noise: 0.04}
+
+	// TLBs.
+	case "dTLB-loads":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.dtlbLoad }, noise: hw}
+	case "dTLB-stores":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.dtlbStore }, noise: hw}
+	case "dTLB-load-misses", "l1_dtlb_misses":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.dtlbLoadMiss }, noise: 0.04, modeSens: 1.0}
+	case "dTLB-store-misses":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.dtlbStoreMiss }, noise: 0.04, modeSens: 0.9}
+	case "l2_dtlb_misses":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.dtlbLoadMiss * 0.3 }, noise: 0.05, modeSens: 1.1}
+	case "iTLB-load-misses", "bp_l1_tlb_miss_l2_tlb_miss":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.itlbMiss }, noise: 0.05, modeSens: 0.4}
+	case "l2_itlb_misses":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.itlbMiss * 0.5 }, noise: 0.06, modeSens: 0.4}
+	case "dtlb_load_misses.stlb_hit":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.stlbHit }, noise: 0.05, modeSens: 0.8}
+	case "dtlb_store_misses.stlb_hit":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.stlbHit * 0.4 }, noise: 0.05, modeSens: 0.8}
+	case "itlb_misses.stlb_hit", "bp_l1_tlb_miss_l2_tlb_hit":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.itlbMiss * 0.6 }, noise: 0.06, modeSens: 0.4}
+	case "bp_tlb_rel":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.itlbLoad * 0.01 }, noise: 0.06}
+	case "all_tlbs_flushed":
+		return metricSpec{kind: osKind, rate: func(r *rateSet) float64 { return r.tlbFlush }, noise: os, tailSens: 0.5}
+
+	// NUMA node traffic.
+	case "node-loads":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.nodeLoad }, noise: 0.04, modeSens: 0.5}
+	case "node-load-misses":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.nodeLoadMiss }, noise: 0.06, modeSens: 3.0}
+	case "node-stores":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.nodeStore }, noise: 0.04, modeSens: 0.5}
+	case "node-store-misses":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.nodeStoreMiss }, noise: 0.06, modeSens: 2.5}
+	case "ls_sw_pf_dc_fills.mem_io_local":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.swPfLocal }, noise: 0.05}
+	case "ls_sw_pf_dc_fills.mem_io_remote":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.swPfRemote }, noise: 0.07, modeSens: 2.5}
+	case "ls_hw_pf_dc_fills.mem_io_local":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.hwPfLocal }, noise: 0.05}
+	case "ls_hw_pf_dc_fills.mem_io_remote":
+		return metricSpec{kind: missKind, rate: func(r *rateSet) float64 { return r.hwPfRemote }, noise: 0.07, modeSens: 2.5}
+
+	// Sampled memory events.
+	case "mem-loads":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.memSampleLoad }, noise: 0.1}
+	case "mem-stores":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.memSampleStore }, noise: 0.1}
+
+	// Stalls and topdown.
+	case "cycle_activity.stalls_total":
+		return metricSpec{kind: timeKind, rate: func(r *rateSet) float64 { return r.stallTotal }, noise: 0.02, modeSens: 0.5}
+	case "cycle_activity.stalls_l3_miss":
+		return metricSpec{kind: timeKind, rate: func(r *rateSet) float64 { return r.stallL3 }, noise: 0.03, modeSens: 1.5}
+	case "stalled-cycles-backend":
+		return metricSpec{kind: timeKind, rate: func(r *rateSet) float64 { return r.stallBack }, noise: 0.02, modeSens: 0.8}
+	case "stalled-cycles-frontend", "ic_fetch_stall.ic_stall_any":
+		return metricSpec{kind: timeKind, rate: func(r *rateSet) float64 { return r.stallFront }, noise: 0.02, modeSens: 0.2}
+	case "topdown.backend_bound_slots":
+		return metricSpec{kind: timeKind, rate: func(r *rateSet) float64 { return r.stallBack * r.slots / r.cycles * 0.8 }, noise: 0.02, modeSens: 0.8}
+	case "resource_stalls.sb":
+		return metricSpec{kind: timeKind, rate: func(r *rateSet) float64 { return r.sbStall }, noise: 0.03, modeSens: 0.4}
+	case "resource_stalls.scoreboard":
+		return metricSpec{kind: timeKind, rate: func(r *rateSet) float64 { return r.sbStall * 0.6 }, noise: 0.03, modeSens: 0.3}
+	case "sse_avx_stalls":
+		return metricSpec{kind: timeKind, rate: func(r *rateSet) float64 { return r.sseStall }, noise: 0.04}
+
+	// Floating point.
+	case "fp_ret_sse_avx_ops.all":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.fpOps }, noise: 0.01}
+	case "fpu_pipe_assignment.total":
+		return metricSpec{kind: workKind, rate: func(r *rateSet) float64 { return r.fpPipe }, noise: 0.015}
+	case "assists.fp":
+		return metricSpec{kind: osKind, rate: func(r *rateSet) float64 { return r.fpAssist }, noise: os}
+	case "assists.any":
+		return metricSpec{kind: osKind, rate: func(r *rateSet) float64 { return r.anyAssist }, noise: os}
+
+	// OS events.
+	case "context-switches":
+		return metricSpec{kind: osKind, rate: func(r *rateSet) float64 { return r.ctxSwitch }, noise: 0.12, tailSens: 1.5}
+	case "cgroup-switches":
+		return metricSpec{kind: osKind, rate: func(r *rateSet) float64 { return r.cgroupSwitch }, noise: 0.2, tailSens: 1.0}
+	case "cpu-migrations":
+		return metricSpec{kind: osKind, rate: func(r *rateSet) float64 { return r.migration }, noise: 0.25, tailSens: 1.0}
+	case "minor-faults":
+		return metricSpec{kind: osKind, rate: func(r *rateSet) float64 { return r.minorFault }, noise: 0.08, tailSens: 0.5}
+	case "major-faults":
+		return metricSpec{kind: osKind, rate: func(r *rateSet) float64 { return r.majorFault }, noise: 0.4, tailSens: 3.0}
+	case "page-faults":
+		return metricSpec{kind: osKind, rate: func(r *rateSet) float64 { return r.pageFault }, noise: 0.08, tailSens: 0.6}
+	case "alignment-faults":
+		return metricSpec{kind: osKind, rate: func(r *rateSet) float64 { return r.alignFault }, noise: os}
+	case "emulation-faults":
+		return metricSpec{kind: osKind, rate: func(r *rateSet) float64 { return r.emuFault }, noise: os}
+	case "bpf-output":
+		return metricSpec{kind: osKind, rate: func(r *rateSet) float64 { return r.bpfOutput }, noise: os}
+	case "ls_int_taken":
+		return metricSpec{kind: osKind, rate: func(r *rateSet) float64 { return r.intTaken }, noise: 0.1, tailSens: 0.8}
+	case "unc_cha_tor_inserts.io_hit":
+		return metricSpec{kind: osKind, rate: func(r *rateSet) float64 { return r.ioHit }, noise: 0.1, tailSens: 1.0}
+	case "unc_cha_tor_inserts.io_miss":
+		return metricSpec{kind: osKind, rate: func(r *rateSet) float64 { return r.ioMiss }, noise: 0.12, tailSens: 1.0}
+
+	// Clock metrics.
+	case "duration_time", "task-clock", "cpu-clock":
+		return metricSpec{kind: clockKind}
+	}
+	panic(fmt.Sprintf("perfsim: no spec for metric %q", name))
+}

@@ -1,0 +1,158 @@
+package perfsim
+
+// IntelMetricNames reproduces Table II of the paper: the 68 profiling
+// metrics collected with Linux perf on the Intel Xeon Platinum 8358
+// system, in table order (IDs 0–67).
+var IntelMetricNames = []string{
+	"branch-instructions",           // 0
+	"branch-misses",                 // 1
+	"bus-cycles",                    // 2
+	"cache-misses",                  // 3
+	"cache-references",              // 4
+	"cpu-cycles",                    // 5
+	"instructions",                  // 6
+	"ref-cycles",                    // 7
+	"alignment-faults",              // 8
+	"bpf-output",                    // 9
+	"cgroup-switches",               // 10
+	"context-switches",              // 11
+	"cpu-clock",                     // 12
+	"cpu-migrations",                // 13
+	"emulation-faults",              // 14
+	"major-faults",                  // 15
+	"minor-faults",                  // 16
+	"page-faults",                   // 17
+	"task-clock",                    // 18
+	"duration_time",                 // 19
+	"L1-dcache-load-misses",         // 20
+	"L1-dcache-loads",               // 21
+	"L1-dcache-stores",              // 22
+	"l1d.replacement",               // 23
+	"L1-icache-load-misses",         // 24
+	"l2_lines_in.all",               // 25
+	"l2_rqsts.all_demand_miss",      // 26
+	"l2_rqsts.all_rfo",              // 27
+	"l2_trans.l2_wb",                // 28
+	"LLC-load-misses",               // 29
+	"LLC-loads",                     // 30
+	"LLC-store-misses",              // 31
+	"LLC-stores",                    // 32
+	"longest_lat_cache.miss",        // 33
+	"mem_inst_retired.all_loads",    // 34
+	"mem_inst_retired.all_stores",   // 35
+	"mem_inst_retired.lock_loads",   // 36
+	"branch-load-misses",            // 37
+	"branch-loads",                  // 38
+	"dTLB-load-misses",              // 39
+	"dTLB-loads",                    // 40
+	"dTLB-store-misses",             // 41
+	"dTLB-stores",                   // 42
+	"iTLB-load-misses",              // 43
+	"node-load-misses",              // 44
+	"node-loads",                    // 45
+	"node-store-misses",             // 46
+	"node-stores",                   // 47
+	"mem-loads",                     // 48
+	"mem-stores",                    // 49
+	"slots",                         // 50
+	"assists.fp",                    // 51
+	"cycle_activity.stalls_l3_miss", // 52
+	"assists.any",                   // 53
+	"topdown.backend_bound_slots",   // 54
+	"br_inst_retired.all_branches",  // 55
+	"br_misp_retired.all_branches",  // 56
+	"cpu_clk_unhalted.distributed",  // 57
+	"cycle_activity.stalls_total",   // 58
+	"inst_retired.any",              // 59
+	"lsd.uops",                      // 60
+	"resource_stalls.sb",            // 61
+	"resource_stalls.scoreboard",    // 62
+	"dtlb_load_misses.stlb_hit",     // 63
+	"dtlb_store_misses.stlb_hit",    // 64
+	"itlb_misses.stlb_hit",          // 65
+	"unc_cha_tor_inserts.io_hit",    // 66
+	"unc_cha_tor_inserts.io_miss",   // 67
+}
+
+// AMDMetricNames reproduces Table III of the paper: the 75 profiling
+// metrics collected on the AMD EPYC 7543 system, in table order
+// (IDs 0–74). The paper's list repeats several core events (they appear
+// in two perf event groups); the duplicates are preserved so the feature
+// vector matches the paper's dimensionality exactly.
+var AMDMetricNames = []string{
+	"branch-instructions",                         // 0
+	"branch-misses",                               // 1
+	"cache-misses",                                // 2
+	"cache-references",                            // 3
+	"cpu-cycles",                                  // 4
+	"instructions",                                // 5
+	"stalled-cycles-backend",                      // 6
+	"stalled-cycles-frontend",                     // 7
+	"alignment-faults",                            // 8
+	"bpf-output",                                  // 9
+	"cgroup-switches",                             // 10
+	"context-switches",                            // 11
+	"cpu-clock",                                   // 12
+	"cpu-migrations",                              // 13
+	"emulation-faults",                            // 14
+	"major-faults",                                // 15
+	"minor-faults",                                // 16
+	"page-faults",                                 // 17
+	"task-clock",                                  // 18
+	"duration_time",                               // 19
+	"L1-dcache-load-misses",                       // 20
+	"L1-dcache-loads",                             // 21
+	"L1-dcache-prefetches",                        // 22
+	"L1-icache-load-misses",                       // 23
+	"L1-icache-loads",                             // 24
+	"branch-load-misses",                          // 25
+	"branch-loads",                                // 26
+	"dTLB-load-misses",                            // 27
+	"dTLB-loads",                                  // 28
+	"iTLB-load-misses",                            // 29
+	"iTLB-loads",                                  // 30
+	"branch-instructions",                         // 31 (second event group)
+	"branch-misses",                               // 32
+	"cache-misses",                                // 33
+	"cache-references",                            // 34
+	"cpu-cycles",                                  // 35
+	"stalled-cycles-backend",                      // 36
+	"stalled-cycles-frontend",                     // 37
+	"bp_l2_btb_correct",                           // 38
+	"bp_tlb_rel",                                  // 39
+	"bp_l1_tlb_miss_l2_tlb_hit",                   // 40
+	"bp_l1_tlb_miss_l2_tlb_miss",                  // 41
+	"ic_fetch_stall.ic_stall_any",                 // 42
+	"ic_tag_hit_miss.instruction_cache_hit",       // 43
+	"ic_tag_hit_miss.instruction_cache_miss",      // 44
+	"op_cache_hit_miss.all_op_cache_accesses",     // 45
+	"fp_ret_sse_avx_ops.all",                      // 46
+	"fpu_pipe_assignment.total",                   // 47
+	"l1_data_cache_fills_all",                     // 48
+	"l1_data_cache_fills_from_external_ccx_cache", // 49
+	"l1_data_cache_fills_from_memory",             // 50
+	"l1_data_cache_fills_from_remote_node",        // 51
+	"l1_data_cache_fills_from_within_same_ccx",    // 52
+	"l1_dtlb_misses",                              // 53
+	"l2_cache_accesses_from_dc_misses",            // 54
+	"l2_cache_accesses_from_ic_misses",            // 55
+	"l2_cache_hits_from_dc_misses",                // 56
+	"l2_cache_hits_from_ic_misses",                // 57
+	"l2_cache_hits_from_l2_hwpf",                  // 58
+	"l2_cache_misses_from_dc_misses",              // 59
+	"l2_cache_misses_from_ic_miss",                // 60
+	"l2_dtlb_misses",                              // 61
+	"l2_itlb_misses",                              // 62
+	"macro_ops_retired",                           // 63
+	"sse_avx_stalls",                              // 64
+	"l3_cache_accesses",                           // 65
+	"l3_misses",                                   // 66
+	"ls_sw_pf_dc_fills.mem_io_local",              // 67
+	"ls_sw_pf_dc_fills.mem_io_remote",             // 68
+	"ls_hw_pf_dc_fills.mem_io_local",              // 69
+	"ls_hw_pf_dc_fills.mem_io_remote",             // 70
+	"ls_int_taken",                                // 71
+	"all_tlbs_flushed",                            // 72
+	"instructions",                                // 73 (second event group)
+	"bp_l1_btb_correct",                           // 74
+}

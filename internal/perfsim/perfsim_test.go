@@ -1,0 +1,408 @@
+package perfsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/stats"
+)
+
+func TestMetricTablesMatchPaperCardinality(t *testing.T) {
+	if got := len(IntelMetricNames); got != 68 {
+		t.Errorf("Intel metric count = %d, want 68 (Table II)", got)
+	}
+	if got := len(AMDMetricNames); got != 75 {
+		t.Errorf("AMD metric count = %d, want 75 (Table III)", got)
+	}
+}
+
+func TestEveryMetricHasSpec(t *testing.T) {
+	for _, name := range IntelMetricNames {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Intel metric %q: %v", name, r)
+				}
+			}()
+			specFor(name)
+		}()
+	}
+	for _, name := range AMDMetricNames {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("AMD metric %q: %v", name, r)
+				}
+			}()
+			specFor(name)
+		}()
+	}
+}
+
+func TestSpecForUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown metric")
+		}
+	}()
+	specFor("definitely-not-a-metric")
+}
+
+func TestTableIPopulation(t *testing.T) {
+	ws := TableI()
+	if len(ws) != 60 {
+		t.Fatalf("Table I has %d benchmarks, want 60", len(ws))
+	}
+	suiteCounts := map[string]int{}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if err := w.Validate(); err != nil {
+			t.Errorf("invalid workload: %v", err)
+		}
+		if seen[w.ID()] {
+			t.Errorf("duplicate benchmark %s", w.ID())
+		}
+		seen[w.ID()] = true
+		suiteCounts[w.Suite]++
+	}
+	want := map[string]int{
+		"npb": 9, "parsec": 9, "specomp": 5, "specaccel": 8,
+		"parboil": 8, "rodinia": 10, "mllib": 11,
+	}
+	for suite, n := range want {
+		if suiteCounts[suite] != n {
+			t.Errorf("suite %s has %d benchmarks, want %d", suite, suiteCounts[suite], n)
+		}
+	}
+}
+
+func TestFindWorkload(t *testing.T) {
+	w, ok := FindWorkload("specomp/376")
+	if !ok || w.Name != "376" {
+		t.Fatalf("FindWorkload failed: %v %v", w, ok)
+	}
+	if _, ok := FindWorkload("nope/nothing"); ok {
+		t.Error("found a nonexistent workload")
+	}
+}
+
+func TestWorkloadHashStableAndSpread(t *testing.T) {
+	w := Workload{Suite: "npb", Name: "bt"}
+	if w.hashFloat("x") != w.hashFloat("x") {
+		t.Error("hash not stable")
+	}
+	if w.hashFloat("x") == w.hashFloat("y") {
+		t.Error("different salts should differ")
+	}
+	w2 := Workload{Suite: "npb", Name: "cg"}
+	if w.hashFloat("x") == w2.hashFloat("x") {
+		t.Error("different benchmarks should differ")
+	}
+	for _, salt := range []string{"a", "b", "c", "d"} {
+		v := w.hashFloat(salt)
+		if v < -1 || v >= 1 {
+			t.Errorf("hashFloat(%q) = %v outside [-1,1)", salt, v)
+		}
+		u := w.hash01(salt)
+		if u < 0 || u >= 1 {
+			t.Errorf("hash01(%q) = %v outside [0,1)", salt, u)
+		}
+	}
+}
+
+func TestRuntimeDistDeterministic(t *testing.T) {
+	w, _ := FindWorkload("specomp/376")
+	s := NewIntelSystem()
+	d1 := NewRuntimeDist(w, s)
+	d2 := NewRuntimeDist(w, s)
+	if d1.BaseSeconds != d2.BaseSeconds || len(d1.Modes) != len(d2.Modes) {
+		t.Fatal("RuntimeDist not deterministic")
+	}
+	for i := range d1.Modes {
+		if d1.Modes[i] != d2.Modes[i] {
+			t.Fatal("modes differ between constructions")
+		}
+	}
+}
+
+func TestSpecOMP376IsBimodalWithFasterLargerMode(t *testing.T) {
+	// The paper's Figure 1 shows 376 with two modes, the larger faster.
+	w, _ := FindWorkload("specomp/376")
+	d := NewRuntimeDist(w, NewIntelSystem())
+	if d.NumModes() < 2 {
+		t.Fatalf("376 has %d modes, want >= 2", d.NumModes())
+	}
+	if d.Modes[0].Weight <= d.Modes[1].Weight {
+		t.Errorf("primary mode weight %v not larger than secondary %v",
+			d.Modes[0].Weight, d.Modes[1].Weight)
+	}
+	if d.Modes[0].Center >= d.Modes[1].Center {
+		t.Errorf("primary mode center %v not faster than secondary %v",
+			d.Modes[0].Center, d.Modes[1].Center)
+	}
+	// The KDE of a large sample must actually show 2+ modes.
+	rel := stats.Normalize(d.SampleN(randx.New(1), 4000))
+	modes := stats.NewKDE(rel).CountModes(1024, 0.08)
+	if modes < 2 {
+		t.Errorf("sampled 376 distribution shows %d modes, want >= 2", modes)
+	}
+}
+
+func TestNarrowBenchmarksAreNarrow(t *testing.T) {
+	s := NewIntelSystem()
+	for _, id := range []string{"specaccel/359", "rodinia/heartwall", "npb/ep"} {
+		w, ok := FindWorkload(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		d := NewRuntimeDist(w, s)
+		rel := stats.Normalize(d.SampleN(randx.New(2), 3000))
+		if sd := stats.StdDev(rel); sd > 0.03 {
+			t.Errorf("%s relative std = %v, want < 0.03 (narrow)", id, sd)
+		}
+	}
+}
+
+func TestWideBenchmarksAreWider(t *testing.T) {
+	s := NewIntelSystem()
+	narrow, _ := FindWorkload("specaccel/359")
+	for _, id := range []string{"specaccel/303", "parboil/mrigridding", "parsec/canneal"} {
+		w, ok := FindWorkload(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		dn := NewRuntimeDist(narrow, s)
+		dw := NewRuntimeDist(w, s)
+		sdN := stats.StdDev(stats.Normalize(dn.SampleN(randx.New(3), 3000)))
+		sdW := stats.StdDev(stats.Normalize(dw.SampleN(randx.New(3), 3000)))
+		if sdW < 2.5*sdN {
+			t.Errorf("%s std %v not clearly wider than 359's %v", id, sdW, sdN)
+		}
+	}
+}
+
+func TestStreamclusterHasLongRightTail(t *testing.T) {
+	w, _ := FindWorkload("parsec/streamcluster")
+	d := NewRuntimeDist(w, NewIntelSystem())
+	rel := stats.Normalize(d.SampleN(randx.New(4), 6000))
+	if skew := stats.Skewness(rel); skew < 1 {
+		t.Errorf("streamcluster skewness = %v, want > 1 (long right tail)", skew)
+	}
+}
+
+func TestDistributionShapeDiversity(t *testing.T) {
+	// Figure 3's headline: shapes vary widely across benchmarks. Check
+	// the population spans narrow to wide and unimodal to multimodal.
+	s := NewIntelSystem()
+	rng := randx.New(5)
+	var stds []float64
+	multimodal := 0
+	for _, w := range TableI() {
+		d := NewRuntimeDist(w, s)
+		rel := stats.Normalize(d.SampleN(rng.Split(), 2000))
+		stds = append(stds, stats.StdDev(rel))
+		if stats.NewKDE(rel).CountModes(512, 0.08) >= 2 {
+			multimodal++
+		}
+	}
+	min, max := stats.MinMax(stds)
+	if max/min < 8 {
+		t.Errorf("std spread %v..%v too homogeneous (ratio %v)", min, max, max/min)
+	}
+	if multimodal < 8 {
+		t.Errorf("only %d/60 benchmarks multimodal, want >= 8", multimodal)
+	}
+	if multimodal > 45 {
+		t.Errorf("%d/60 benchmarks multimodal, want unimodal majority mix", multimodal)
+	}
+}
+
+func TestMeanSecondsMatchesSampleMean(t *testing.T) {
+	w, _ := FindWorkload("npb/lu")
+	d := NewRuntimeDist(w, NewIntelSystem())
+	got := stats.Mean(d.SampleN(randx.New(6), 20000))
+	want := d.MeanSeconds()
+	if math.Abs(got-want) > 0.02*want {
+		t.Errorf("sample mean %v vs analytic %v", got, want)
+	}
+}
+
+func TestSystemsDiffer(t *testing.T) {
+	intel, amd := NewIntelSystem(), NewAMDSystem()
+	if intel.NumMetrics() != 68 || amd.NumMetrics() != 75 {
+		t.Errorf("metric counts: intel=%d amd=%d", intel.NumMetrics(), amd.NumMetrics())
+	}
+	if intel.String() == amd.String() {
+		t.Error("systems should describe themselves differently")
+	}
+	// Same workload must yield different distributions on the two
+	// systems (different geometry) yet correlated difficulty.
+	w, _ := FindWorkload("specaccel/303")
+	di := NewRuntimeDist(w, intel)
+	da := NewRuntimeDist(w, amd)
+	if di.BaseSeconds == da.BaseSeconds {
+		t.Error("base seconds identical across systems")
+	}
+}
+
+func TestRunProducesFiniteMetrics(t *testing.T) {
+	m := NewMachine(NewIntelSystem())
+	rng := randx.New(7)
+	for _, w := range TableI()[:10] {
+		b := m.Bench(w)
+		run := b.Run(rng)
+		if run.Seconds <= 0 {
+			t.Fatalf("%s: non-positive duration %v", w.ID(), run.Seconds)
+		}
+		if len(run.Metrics) != 68 {
+			t.Fatalf("%s: %d metrics, want 68", w.ID(), len(run.Metrics))
+		}
+		for i, v := range run.Metrics {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("%s: metric %s = %v", w.ID(), m.System.MetricNames[i], v)
+			}
+		}
+	}
+}
+
+func TestDurationMetricMatchesSeconds(t *testing.T) {
+	m := NewMachine(NewIntelSystem())
+	w, _ := FindWorkload("npb/ep")
+	b := m.Bench(w)
+	run := b.Run(randx.New(8))
+	var durIdx int = -1
+	for i, name := range m.System.MetricNames {
+		if name == "duration_time" {
+			durIdx = i
+		}
+	}
+	if durIdx < 0 {
+		t.Fatal("duration_time missing from schema")
+	}
+	if math.Abs(run.Metrics[durIdx]-run.Seconds*1e9) > 1 {
+		t.Errorf("duration_time = %v, want %v", run.Metrics[durIdx], run.Seconds*1e9)
+	}
+}
+
+func TestSlowModeInflatesRemoteTraffic(t *testing.T) {
+	// For a NUMA-sensitive bimodal benchmark, runs landing in the slow
+	// mode must show more node-load-misses per second: the physical
+	// coupling that lets few-run profiles reveal distribution shape.
+	m := NewMachine(NewIntelSystem())
+	w, _ := FindWorkload("specaccel/303")
+	b := m.Bench(w)
+	if b.Dist.NumModes() < 2 {
+		t.Fatalf("303 should be multimodal, has %d modes", b.Dist.NumModes())
+	}
+	idx := -1
+	for i, name := range m.System.MetricNames {
+		if name == "node-load-misses" {
+			idx = i
+		}
+	}
+	rng := randx.New(9)
+	var fastSum, slowSum float64
+	var fastN, slowN int
+	for i := 0; i < 3000; i++ {
+		run := b.Run(rng)
+		rate := run.Metrics[idx] / run.Seconds
+		if run.Latent.Mode == 0 {
+			fastSum += rate
+			fastN++
+		} else {
+			slowSum += rate
+			slowN++
+		}
+	}
+	if fastN == 0 || slowN == 0 {
+		t.Fatalf("modes not both visited: fast=%d slow=%d", fastN, slowN)
+	}
+	fastMean := fastSum / float64(fastN)
+	slowMean := slowSum / float64(slowN)
+	if slowMean < 1.2*fastMean {
+		t.Errorf("slow-mode node-load-miss rate %v not clearly above fast-mode %v", slowMean, fastMean)
+	}
+}
+
+func TestWorkCountersDropPerSecondOnSlowRuns(t *testing.T) {
+	// Fixed-work counters (instructions) must yield lower per-second
+	// rates on slower runs.
+	m := NewMachine(NewIntelSystem())
+	w, _ := FindWorkload("specomp/376")
+	b := m.Bench(w)
+	idx := -1
+	for i, name := range m.System.MetricNames {
+		if name == "instructions" {
+			idx = i
+		}
+	}
+	rng := randx.New(10)
+	type obs struct{ sec, rate float64 }
+	var runs []obs
+	for i := 0; i < 2000; i++ {
+		r := b.Run(rng)
+		runs = append(runs, obs{r.Seconds, r.Metrics[idx] / r.Seconds})
+	}
+	// Correlation between duration and instruction rate must be negative.
+	var ms, mr float64
+	for _, o := range runs {
+		ms += o.sec
+		mr += o.rate
+	}
+	ms /= float64(len(runs))
+	mr /= float64(len(runs))
+	var cov, vs, vr float64
+	for _, o := range runs {
+		cov += (o.sec - ms) * (o.rate - mr)
+		vs += (o.sec - ms) * (o.sec - ms)
+		vr += (o.rate - mr) * (o.rate - mr)
+	}
+	corr := cov / math.Sqrt(vs*vr)
+	if corr > -0.3 {
+		t.Errorf("duration/instruction-rate correlation = %v, want clearly negative", corr)
+	}
+}
+
+func TestRunDeterministicWithSeed(t *testing.T) {
+	m := NewMachine(NewAMDSystem())
+	w, _ := FindWorkload("mllib/kmeans")
+	b := m.Bench(w)
+	r1 := b.RunN(randx.New(11), 5)
+	r2 := b.RunN(randx.New(11), 5)
+	for i := range r1 {
+		if r1[i].Seconds != r2[i].Seconds {
+			t.Fatal("runs not deterministic")
+		}
+		for j := range r1[i].Metrics {
+			if r1[i].Metrics[j] != r2[i].Metrics[j] {
+				t.Fatal("metrics not deterministic")
+			}
+		}
+	}
+}
+
+func TestSecondsHelper(t *testing.T) {
+	runs := []Run{{Seconds: 1}, {Seconds: 2.5}}
+	s := Seconds(runs)
+	if len(s) != 2 || s[0] != 1 || s[1] != 2.5 {
+		t.Errorf("Seconds = %v", s)
+	}
+}
+
+func TestWorkloadValidateCatchesBadValues(t *testing.T) {
+	w, _ := FindWorkload("npb/bt")
+	w.Compute = 1.5
+	if err := w.Validate(); err == nil {
+		t.Error("Compute > 1 should fail validation")
+	}
+	w2, _ := FindWorkload("npb/bt")
+	w2.BaseSeconds = 0
+	if err := w2.Validate(); err == nil {
+		t.Error("zero BaseSeconds should fail validation")
+	}
+	w3 := Workload{Name: "x", BaseSeconds: 1, WorkingSetMB: 1}
+	if err := w3.Validate(); err == nil {
+		t.Error("empty suite should fail validation")
+	}
+}

@@ -1,0 +1,180 @@
+package perfsim
+
+import "math"
+
+// rateSet holds the nominal per-second rates of the latent hardware and
+// OS event streams of one (workload, system) pair. Every metric in
+// Tables II/III maps onto one of these latents (see specFor); the
+// mapping is deterministic, so a benchmark has a stable counter
+// signature that reflects its workload characteristics — the property
+// the paper's predictors learn from.
+type rateSet struct {
+	activeCores float64
+
+	cycles, refCycles, busCycles, slots float64
+	ins, uops, macroOps                 float64
+
+	branch, branchMiss, btbL1, btbL2 float64
+
+	l1Load, l1Store, l1Miss, l1Prefetch                                   float64
+	icLoad, icMiss                                                        float64
+	l2Access, l2Hit, l2Miss, l2RFO, l2WB, l2HWPF                          float64
+	llcAccess, llcLoad, llcLoadMiss, llcStore, llcStoreMiss, llcMissTotal float64
+
+	dtlbLoad, dtlbStore, dtlbLoadMiss, dtlbStoreMiss float64
+	itlbLoad, itlbMiss, stlbHit, tlbFlush            float64
+
+	nodeLoad, nodeLoadMiss, nodeStore, nodeStoreMiss float64
+	ccxLocal, ccxExternal, memFill, remoteFill       float64
+	swPfLocal, swPfRemote, hwPfLocal, hwPfRemote     float64
+
+	pageFault, minorFault, majorFault  float64
+	ctxSwitch, cgroupSwitch, migration float64
+	emuFault, alignFault, bpfOutput    float64
+	intTaken                           float64
+
+	stallTotal, stallFront, stallBack, stallL3, sbStall float64
+	fpOps, fpPipe, fpAssist, anyAssist, sseStall        float64
+	lockLoad, lsdUops, opCache                          float64
+	ioHit, ioMiss                                       float64
+	memSampleLoad, memSampleStore                       float64
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func clampRange(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// buildRates derives the nominal event rates of w on s. Each rate picks
+// up a small stable per-benchmark perturbation (from the workload hash)
+// so that applications with similar characteristics remain
+// distinguishable, exactly as real applications are.
+func buildRates(w Workload, s *System) *rateSet {
+	pert := func(salt string) float64 { return math.Exp(0.22 * w.hashFloat(salt)) }
+
+	r := &rateSet{}
+	r.activeCores = math.Max(1, w.Parallelism*float64(s.Cores))
+
+	// Cache-fit ratios: how badly the working set overflows each level.
+	perCoreWS := w.WorkingSetMB / r.activeCores
+	fitL1 := perCoreWS / (perCoreWS + s.L1KB/1024)
+	fitL2 := perCoreWS / (perCoreWS + s.L2KB/1024)
+	fitL3 := w.WorkingSetMB / (w.WorkingSetMB + s.L3MB)
+
+	r.cycles = r.activeCores * s.FreqGHz * 1e9
+	r.refCycles = r.cycles * 0.96
+	r.busCycles = r.cycles / 8
+	r.slots = r.cycles * s.PipelineWidth
+
+	effMem := w.Memory * (0.3 + 0.7*fitL3)
+	ipc := clampRange(0.5+2.0*w.Compute-1.0*effMem-0.3*w.Branch, 0.25, 3.2) * pert("ipc")
+	r.ins = r.cycles * ipc
+	r.uops = r.ins * (1.1 + 0.2*pert("uops"))
+	r.macroOps = r.ins * 1.08
+	r.lsdUops = r.ins * (0.05 + 0.25*w.Compute) * pert("lsd")
+	r.opCache = r.ins * (0.6 + 0.3*(1-w.Branch))
+
+	r.branch = r.ins * (0.04 + 0.16*w.Branch) * pert("br")
+	r.branchMiss = r.branch * (0.002 + 0.09*w.Branch*w.Branch) * pert("brm")
+	r.btbL1 = r.branch * 0.70
+	r.btbL2 = r.branch * 0.22
+
+	loadShare := 0.18 + 0.18*w.Memory
+	r.l1Load = r.ins * loadShare * pert("l1l")
+	r.l1Store = r.l1Load * (0.35 + 0.2*w.hash01("st"))
+	// Page-allocation sensitivity manifests as conflict-miss pressure in
+	// L1/L2 and the dTLB — the physical mechanism behind discrete modes.
+	conflict := 0.3 * w.PageSensitivity
+	r.l1Miss = r.l1Load * clampRange(0.004+0.09*fitL1*(0.3+0.7*w.Memory)+0.02*conflict, 0.001, 0.3) * pert("l1m")
+	r.l1Prefetch = r.l1Miss * (0.8 + 0.6*w.hash01("pf"))
+	r.icLoad = r.ins * 0.28
+	r.icMiss = r.icLoad * (0.0005 + 0.01*w.Branch) * pert("icm")
+
+	r.l2Access = r.l1Miss * (1.05 + 0.5*w.hash01("l2a"))
+	r.l2Miss = r.l2Access * clampRange(0.05+0.75*fitL2+0.05*conflict, 0.02, 0.95) * pert("l2m")
+	r.l2Hit = r.l2Access - r.l2Miss
+	r.l2RFO = r.l1Store * 0.12
+	r.l2WB = r.l2Miss * (0.3 + 0.3*w.hash01("wb"))
+	r.l2HWPF = r.l2Access * (0.2 + 0.4*w.hash01("hwpf"))
+
+	r.llcLoad = r.l2Miss * 0.78
+	r.llcStore = r.l2Miss * 0.22
+	llcMissRatio := clampRange(0.08+0.85*fitL3, 0.02, 0.98) * pert("l3m")
+	r.llcLoadMiss = r.llcLoad * llcMissRatio
+	r.llcStoreMiss = r.llcStore * llcMissRatio * 0.9
+	r.llcAccess = r.llcLoad + r.llcStore
+	r.llcMissTotal = r.llcLoadMiss + r.llcStoreMiss
+
+	pageWalk := 0.0008 + 0.02*fitL3 + 0.03*conflict
+	r.dtlbLoad = r.l1Load
+	r.dtlbStore = r.l1Store
+	r.dtlbLoadMiss = r.dtlbLoad * pageWalk * pert("tlb")
+	r.dtlbStoreMiss = r.dtlbStore * pageWalk * 0.8
+	r.itlbLoad = r.icLoad
+	r.itlbMiss = r.icLoad * (0.0001 + 0.002*w.Branch)
+	r.stlbHit = r.dtlbLoadMiss * 0.6
+	r.tlbFlush = 0.5 + 40*w.GC
+
+	// NUMA traffic split: LLC misses are served locally or remotely.
+	numaShare := clamp01(0.03 + 0.55*w.NUMASensitivity*s.NUMAEffect)
+	r.nodeLoad = r.llcLoadMiss
+	r.nodeLoadMiss = r.nodeLoad * numaShare
+	r.nodeStore = r.llcStoreMiss
+	r.nodeStoreMiss = r.nodeStore * numaShare * 0.9
+	r.memFill = r.llcMissTotal
+	r.remoteFill = r.llcMissTotal * numaShare
+	r.ccxExternal = r.l2Miss * clamp01(0.05+0.4*w.NUMASensitivity)
+	r.ccxLocal = r.l2Miss * 0.5
+	prefetchLocal := r.llcMissTotal * (0.15 + 0.25*w.hash01("swpf"))
+	r.swPfLocal = prefetchLocal * 0.4
+	r.swPfRemote = prefetchLocal * 0.4 * numaShare
+	r.hwPfLocal = prefetchLocal
+	r.hwPfRemote = prefetchLocal * numaShare
+
+	// OS-level events (per second, whole node).
+	r.minorFault = (40 + 2500*w.GC + 300*w.Memory + 150*w.IO) * pert("mnf")
+	r.majorFault = 0.05 + 6*w.IO
+	r.pageFault = r.minorFault + r.majorFault
+	r.ctxSwitch = (25 + 3500*w.Sync + 2200*w.IO + 1600*w.GC) * (r.activeCores / 64) * pert("ctx")
+	r.cgroupSwitch = r.ctxSwitch * 0.015
+	r.migration = (0.8 + 25*w.Sync*s.SchedJitter + 8*w.GC) * pert("mig")
+	r.emuFault = 0.001
+	r.alignFault = 0.001
+	r.bpfOutput = 0.001
+	r.intTaken = 80 + 1200*w.IO + 0.001*r.ctxSwitch
+	r.ioHit = (10 + 5e4*w.IO) * pert("io")
+	r.ioMiss = r.ioHit * 0.3
+
+	// Pipeline stalls.
+	r.stallBack = r.cycles * clampRange(0.06+0.6*effMem, 0.02, 0.9)
+	r.stallFront = r.cycles * clampRange(0.03+0.12*w.Branch+0.05*w.GC, 0.01, 0.5)
+	r.stallL3 = r.cycles * clampRange(0.45*effMem*fitL3, 0, 0.7)
+	r.stallTotal = r.stallBack + r.stallFront
+	r.sbStall = r.cycles * clampRange(0.02+0.15*w.Memory*(0.3+0.7*w.hash01("sb")), 0, 0.4)
+
+	r.fpOps = r.ins * w.FPShare * (0.3 + 0.25*pert("fp"))
+	r.fpPipe = r.fpOps * 1.05
+	r.fpAssist = 0.01 + 2*w.FPShare
+	r.anyAssist = r.fpAssist*1.2 + 0.5
+	r.sseStall = r.cycles * 0.01 * w.FPShare
+
+	r.lockLoad = r.ins * 0.0004 * (1 + 20*w.Sync)
+	r.memSampleLoad = r.l1Load * 2e-5
+	r.memSampleStore = r.l1Store * 2e-5
+	return r
+}

@@ -1,0 +1,144 @@
+package perfsim
+
+import (
+	"math"
+
+	"repro/internal/randx"
+)
+
+// Run is one simulated execution of a benchmark on a system: the wall
+// time plus the raw perf-counter totals for the run, aligned with the
+// system's MetricNames. Counters are raw totals (not rates) — exactly
+// what `perf stat` emits — so the feature pipeline normalizes them per
+// second just as the paper does.
+type Run struct {
+	Seconds float64
+	Metrics []float64
+	Latent  RunLatent
+}
+
+// Machine binds a System to its compiled metric specifications.
+type Machine struct {
+	System *System
+	specs  []metricSpec
+}
+
+// NewMachine compiles the system's metric schema.
+func NewMachine(s *System) *Machine {
+	m := &Machine{System: s, specs: make([]metricSpec, len(s.MetricNames))}
+	for i, name := range s.MetricNames {
+		m.specs[i] = specFor(name)
+	}
+	return m
+}
+
+// BenchInstance is a benchmark staged on a machine: its ground-truth
+// run-time distribution and nominal counter rates, ready for repeated
+// execution.
+type BenchInstance struct {
+	Machine  *Machine
+	Workload Workload
+	Dist     *RuntimeDist
+	rates    *rateSet
+	meanSec  float64
+}
+
+// Bench stages a workload on the machine.
+func (m *Machine) Bench(w Workload) *BenchInstance {
+	dist := NewRuntimeDist(w, m.System)
+	return &BenchInstance{
+		Machine:  m,
+		Workload: w,
+		Dist:     dist,
+		rates:    buildRates(w, m.System),
+		meanSec:  dist.MeanSeconds(),
+	}
+}
+
+// noiseScale globally scales every metric's per-run measurement noise.
+// It is calibrated so that single-run profiles are genuinely unreliable
+// (the premise of the paper's Figure 6: accuracy improves markedly as
+// profiles aggregate more runs) while many-run profiles converge to the
+// benchmark's stable signature.
+const noiseScale = 1.0
+
+// Run executes the benchmark once, producing its wall time and counter
+// totals. Counter noise is correlated with the run's latent state: runs
+// that land in a slow mode inflate the miss-type counters that cause the
+// slowdown, and straggler runs inflate OS-event counters.
+func (b *BenchInstance) Run(rng *randx.RNG) Run {
+	seconds, latent := b.Dist.Sample(rng)
+	out := Run{Seconds: seconds, Latent: latent, Metrics: make([]float64, len(b.Machine.specs))}
+
+	// Mode excess: the relative slowdown of the mode the run landed in.
+	modeExcess := b.Dist.Modes[latent.Mode].Center - 1
+	// Frequency deviation shared by cycle-type counters this run.
+	freqDev := -0.4 * b.Dist.Modes[latent.Mode].Sigma * latent.RelDev
+
+	// Run-level noise factors shared by whole counter groups. Real
+	// measurement noise is strongly correlated across counters (one
+	// run's frequency residency, memory-zone placement, or daemon
+	// activity shifts dozens of metrics together), which is why a
+	// single-run profile cannot be rescued by averaging over metrics —
+	// only more runs help (the paper's Figure 6).
+	groupWork := math.Exp(0.08 * rng.StdNormal())
+	groupTime := math.Exp(0.04 * rng.StdNormal())
+	groupMiss := math.Exp(0.15 * rng.StdNormal())
+	groupOS := math.Exp(0.25 * rng.StdNormal())
+
+	for i, spec := range b.Machine.specs {
+		var count float64
+		switch spec.kind {
+		case clockKind:
+			switch b.Machine.System.MetricNames[i] {
+			case "duration_time":
+				count = seconds * 1e9 // nanoseconds
+			default: // task-clock, cpu-clock (milliseconds of CPU time)
+				count = b.rates.activeCores * seconds * 1e3
+			}
+			out.Metrics[i] = count
+			continue
+		case workKind:
+			// Fixed work: total independent of how long the run took.
+			count = spec.rate(b.rates) * b.meanSec * groupWork
+		case timeKind:
+			count = spec.rate(b.rates) * seconds * groupTime
+		case missKind:
+			count = spec.rate(b.rates) * b.meanSec * (1 + spec.modeSens*6*modeExcess) * groupMiss
+		case osKind:
+			count = spec.rate(b.rates) * seconds * groupOS
+			if latent.Tail {
+				count *= 1 + spec.tailSens*6
+			}
+		}
+		if spec.modeSens > 0 && spec.kind == timeKind {
+			count *= 1 + spec.modeSens*4*modeExcess
+		}
+		if spec.freqSens > 0 {
+			count *= math.Exp(spec.freqSens * freqDev)
+		}
+		if spec.noise > 0 {
+			count *= math.Exp(noiseScale * spec.noise * rng.StdNormal())
+		}
+		out.Metrics[i] = count
+	}
+	return out
+}
+
+// RunN executes the benchmark n times.
+func (b *BenchInstance) RunN(rng *randx.RNG, n int) []Run {
+	out := make([]Run, n)
+	for i := range out {
+		out[i] = b.Run(rng)
+	}
+	return out
+}
+
+// Seconds extracts the wall times from a run set.
+func Seconds(runs []Run) []float64 {
+	out := make([]float64, len(runs))
+	for i, r := range runs {
+		out[i] = r.Seconds
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package perfsim
+
+import (
+	"math"
+
+	"repro/internal/randx"
+)
+
+// mode is one discrete performance mode of a benchmark on a system
+// (e.g., a lucky vs. unlucky page allocation, or local vs. remote NUMA
+// placement). Center is a relative run-time multiplier (≈1), Sigma the
+// lognormal spread within the mode.
+type mode struct {
+	Weight float64
+	Center float64
+	Sigma  float64
+}
+
+// RuntimeDist is the ground-truth run-time distribution of one benchmark
+// on one system: a mixture of lognormal modes in relative time, scaled
+// by BaseSeconds, with an optional Pareto straggler tail.
+type RuntimeDist struct {
+	BaseSeconds float64
+	Modes       []mode
+
+	TailProb  float64
+	TailAlpha float64
+	TailScale float64
+}
+
+// RunLatent records the hidden state behind one sampled run. The metric
+// generator uses it to correlate counter noise with the run outcome,
+// reproducing the physical coupling (a remote-placement run really does
+// see more remote-node misses).
+type RunLatent struct {
+	// Mode is the index of the performance mode the run landed in.
+	Mode int
+	// Tail is true when the run suffered a straggler excursion.
+	Tail bool
+	// RelDev is the run's within-mode relative deviation (the lognormal
+	// exponent draw), feeding frequency-correlated counter noise.
+	RelDev float64
+}
+
+// speedFactor converts the benchmark's reference run time to this
+// system: compute-bound work scales with ComputeScale, bandwidth-bound
+// work with MemBWScale, with cache fit (working set vs. L3) modulating
+// how bandwidth-bound the benchmark effectively is on this system.
+func speedFactor(w Workload, s *System) float64 {
+	missL3 := w.WorkingSetMB / (w.WorkingSetMB + s.L3MB)
+	effMem := w.Memory * (0.35 + 0.65*missL3)
+	total := w.Compute + effMem + 1e-9
+	cShare := w.Compute / total
+	mShare := effMem / total
+	// Weighted harmonic combination of the two throughput scales.
+	return cShare/s.ComputeScale + mShare/s.MemBWScale
+}
+
+// NewRuntimeDist derives the ground-truth distribution of w on s.
+// The derivation is deterministic: the same (workload, system) pair
+// always yields the same distribution, which is what lets a model
+// trained on other benchmarks generalize.
+func NewRuntimeDist(w Workload, s *System) *RuntimeDist {
+	d := &RuntimeDist{BaseSeconds: w.BaseSeconds * speedFactor(w, s)}
+
+	// Within-mode spread: frequency jitter acts on compute-bound work,
+	// scheduler jitter on synchronization-heavy work, memory jitter on
+	// bandwidth-bound work.
+	missL3 := w.WorkingSetMB / (w.WorkingSetMB + s.L3MB)
+	// Idiosyncratic factors mix an application-intrinsic hash with a
+	// system-salted hash: an application's variability fingerprint
+	// transfers across systems (which is what makes use case 2
+	// learnable) but not verbatim — a new system genuinely reshapes the
+	// distribution, so a model cannot simply copy the source-system
+	// histogram. The hash factors also spread widths and geometries
+	// across applications with identical coarse characteristics,
+	// bounding achievable prediction accuracy as in real populations.
+	mix01 := func(salt string) float64 {
+		return 0.45*w.hash01(salt) + 0.55*w.hash01(salt+"@"+s.Name)
+	}
+	mixSigned := func(salt string) float64 {
+		return 0.45*w.hashFloat(salt) + 0.55*w.hashFloat(salt+"@"+s.Name)
+	}
+	sigma := (0.0025 +
+		0.028*(s.FreqJitter*w.Compute+s.SchedJitter*w.Sync+s.MemJitter*w.Memory*missL3) +
+		0.01*w.GC) * (0.7 + 0.6*mix01("sig"))
+	// Modality: page-allocation sensitivity and NUMA placement create
+	// discrete modes, scaled by how strongly this system expresses them.
+	modality := w.PageSensitivity*s.PageBimodal + 0.8*w.NUMASensitivity*s.NUMAEffect*missL3
+	if modality > 1 {
+		modality = 1
+	}
+	numModes := 1
+	switch {
+	case modality > 0.60:
+		numModes = 3
+	case modality > 0.24:
+		numModes = 2
+	}
+	// Mode geometry: separation grows with modality; the mixed hashes
+	// give each application its own spacing and weights, related but not
+	// identical across systems.
+	sep := (0.02 + 0.17*modality) * (0.6 + 0.8*mix01("sep"))
+	primary := 0.50 + 0.30*mix01("weight") // the largest mode is the fastest
+	rest := 1 - primary
+	d.Modes = make([]mode, numModes)
+	for k := range d.Modes {
+		weight := primary
+		if k > 0 {
+			// Split the remainder with a hash-driven imbalance.
+			share := 1.0 / float64(numModes-1)
+			tilt := 0.5 * mixSigned("tilt")
+			if numModes == 3 {
+				if k == 1 {
+					share += tilt * share
+				} else {
+					share -= tilt * share
+				}
+			}
+			weight = rest * share
+		}
+		d.Modes[k] = mode{
+			Weight: weight,
+			Center: 1 + float64(k)*sep*(1+0.2*mixSigned("c"+string(rune('0'+k)))),
+			Sigma:  sigma * (1 + 0.25*float64(k)), // slower modes are noisier
+		}
+	}
+	// Straggler tail: IO, garbage collection, and intrinsic tail
+	// sensitivity produce occasional large excursions.
+	tp := 0.06*(w.IO+w.GC) + 0.05*w.TailSensitivity*s.TailScale
+	if tp > 0.15 {
+		tp = 0.15
+	}
+	if tp > 0.002 {
+		d.TailProb = tp
+		d.TailAlpha = 2.5
+		d.TailScale = (0.05 + 0.30*w.TailSensitivity) * s.TailScale
+	}
+	return d
+}
+
+// NumModes returns the number of discrete performance modes.
+func (d *RuntimeDist) NumModes() int { return len(d.Modes) }
+
+// MeanSeconds returns the analytic mean run time, ignoring the (small)
+// tail contribution.
+func (d *RuntimeDist) MeanSeconds() float64 {
+	var wsum, acc float64
+	for _, m := range d.Modes {
+		wsum += m.Weight
+		acc += m.Weight * m.Center * math.Exp(m.Sigma*m.Sigma/2)
+	}
+	return d.BaseSeconds * acc / wsum
+}
+
+// Sample draws one run time in seconds together with its latent state.
+func (d *RuntimeDist) Sample(rng *randx.RNG) (float64, RunLatent) {
+	weights := make([]float64, len(d.Modes))
+	for i, m := range d.Modes {
+		weights[i] = m.Weight
+	}
+	k := rng.Categorical(weights)
+	m := d.Modes[k]
+	dev := rng.StdNormal()
+	rel := m.Center * math.Exp(m.Sigma*dev)
+	latent := RunLatent{Mode: k, RelDev: dev}
+	if d.TailProb > 0 && rng.Float64() < d.TailProb {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		e := d.TailScale * (math.Pow(u, -1/d.TailAlpha) - 1)
+		// Straggler excursions are bounded in practice (timeouts,
+		// retries, scheduler preemption horizons).
+		if e > 1.5 {
+			e = 1.5
+		}
+		rel *= 1 + e
+		latent.Tail = true
+	}
+	return d.BaseSeconds * rel, latent
+}
+
+// SampleN draws n run times (seconds), discarding latents.
+func (d *RuntimeDist) SampleN(rng *randx.RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i], _ = d.Sample(rng)
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package perfsim
+
+// This file embeds Table I of the paper: the 60 benchmarks from seven
+// suites used to train and evaluate the predictors. Each benchmark is
+// assigned a workload-characteristics vector chosen to reproduce the
+// qualitative behavior reported in the paper's figures:
+//
+//   - SPEC OMP 376 is strongly bimodal with the larger mode faster (Fig. 1);
+//   - 359, 304, bt, is, heartwall, spmv have very narrow distributions,
+//     with 304 and bt showing closely spaced modes (Figs. 5, 9);
+//   - 303, 376, mrigridding, bodytrack, canneal, correlation, histo are
+//     wide, several of them multimodal (Figs. 5, 9);
+//   - streamcluster is right-skewed with a long tail (Fig. 5);
+//   - MLlib benchmarks run on the JVM and inherit GC-driven jitter and
+//     stragglers.
+//
+// The exact numbers are not claimed to match the physical machines —
+// they are a synthetic population engineered to span the same taxonomy
+// of distribution shapes, which is the property the paper's learning
+// problem depends on.
+
+// bench is a compact constructor for suite entries.
+func bench(suite, name string, compute, memory, wsMB, branch, fp, par, sync, io, gc, numa, page, tail, base float64) Workload {
+	return Workload{
+		Suite: suite, Name: name,
+		Compute: compute, Memory: memory, WorkingSetMB: wsMB,
+		Branch: branch, FPShare: fp, Parallelism: par, Sync: sync,
+		IO: io, GC: gc,
+		NUMASensitivity: numa, PageSensitivity: page, TailSensitivity: tail,
+		BaseSeconds: base,
+	}
+}
+
+// TableI returns the full benchmark population of the paper's Table I:
+// 9 NPB + 9 PARSEC + 5 SPEC OMP + 8 SPEC Accel + 8 Parboil + 10 Rodinia
+// + 11 MLlib = 60 benchmarks.
+func TableI() []Workload {
+	return []Workload{
+		// NPB [38] — OpenMP scientific kernels.
+		bench("npb", "bt", 0.70, 0.45, 900, 0.15, 0.85, 0.95, 0.10, 0.00, 0, 0.50, 0.48, 0.05, 55),
+		bench("npb", "cg", 0.30, 0.85, 1500, 0.20, 0.80, 0.90, 0.25, 0.00, 0, 0.35, 0.10, 0.05, 28),
+		bench("npb", "ep", 0.95, 0.05, 16, 0.10, 0.90, 0.98, 0.02, 0.00, 0, 0.00, 0.02, 0.02, 18),
+		bench("npb", "ft", 0.55, 0.75, 5200, 0.12, 0.88, 0.92, 0.20, 0.00, 0, 0.45, 0.25, 0.05, 40),
+		bench("npb", "is", 0.15, 0.70, 1100, 0.30, 0.05, 0.85, 0.15, 0.00, 0, 0.05, 0.04, 0.03, 4),
+		bench("npb", "lu", 0.60, 0.55, 700, 0.18, 0.85, 0.93, 0.30, 0.00, 0, 0.25, 0.20, 0.05, 50),
+		bench("npb", "mg", 0.45, 0.80, 3400, 0.10, 0.82, 0.90, 0.18, 0.00, 0, 0.40, 0.30, 0.04, 12),
+		bench("npb", "sp", 0.62, 0.60, 800, 0.14, 0.86, 0.94, 0.22, 0.00, 0, 0.30, 0.35, 0.05, 60),
+		bench("npb", "ua", 0.50, 0.50, 480, 0.35, 0.75, 0.88, 0.40, 0.00, 0, 0.28, 0.22, 0.08, 45),
+
+		// PARSEC 3.0 [39] — multithreaded desktop/server applications.
+		bench("parsec", "blackscholes", 0.85, 0.20, 64, 0.10, 0.90, 0.90, 0.08, 0.02, 0, 0.05, 0.06, 0.03, 15),
+		bench("parsec", "bodytrack", 0.55, 0.45, 128, 0.45, 0.60, 0.80, 0.55, 0.05, 0, 0.40, 0.55, 0.15, 25),
+		bench("parsec", "canneal", 0.20, 0.95, 2200, 0.55, 0.10, 0.75, 0.35, 0.02, 0, 0.70, 0.60, 0.10, 35),
+		bench("parsec", "dedup", 0.35, 0.55, 700, 0.50, 0.05, 0.70, 0.45, 0.45, 0, 0.20, 0.15, 0.25, 20),
+		bench("parsec", "fluidanimate", 0.60, 0.50, 500, 0.20, 0.80, 0.92, 0.50, 0.02, 0, 0.35, 0.30, 0.06, 30),
+		bench("parsec", "freqmine", 0.45, 0.65, 1200, 0.55, 0.15, 0.85, 0.30, 0.05, 0, 0.30, 0.25, 0.08, 28),
+		bench("parsec", "netdedup", 0.30, 0.50, 650, 0.50, 0.05, 0.65, 0.50, 0.60, 0, 0.18, 0.12, 0.30, 22),
+		bench("parsec", "streamcluster", 0.25, 0.85, 900, 0.25, 0.55, 0.85, 0.60, 0.05, 0, 0.30, 0.10, 0.75, 32),
+		bench("parsec", "swaptions", 0.90, 0.10, 24, 0.15, 0.92, 0.90, 0.06, 0.00, 0, 0.02, 0.05, 0.02, 16),
+
+		// SPEC OMP 2012 [2] — large OpenMP applications.
+		bench("specomp", "358", 0.55, 0.60, 2600, 0.20, 0.85, 0.95, 0.25, 0.02, 0, 0.35, 0.30, 0.06, 80),
+		bench("specomp", "362", 0.65, 0.50, 1800, 0.25, 0.80, 0.94, 0.30, 0.02, 0, 0.30, 0.20, 0.05, 70),
+		bench("specomp", "367", 0.40, 0.70, 4200, 0.30, 0.70, 0.90, 0.35, 0.03, 0, 0.45, 0.40, 0.08, 90),
+		bench("specomp", "372", 0.50, 0.65, 3000, 0.15, 0.88, 0.93, 0.20, 0.02, 0, 0.40, 0.35, 0.05, 85),
+		bench("specomp", "376", 0.45, 0.75, 5600, 0.22, 0.78, 0.92, 0.30, 0.02, 0, 0.30, 0.78, 0.08, 100),
+
+		// SPEC Accel [40] — accelerator-style kernels (host execution).
+		bench("specaccel", "303", 0.35, 0.85, 4800, 0.18, 0.85, 0.90, 0.45, 0.02, 0, 0.65, 0.70, 0.12, 65),
+		bench("specaccel", "304", 0.60, 0.55, 1400, 0.12, 0.90, 0.92, 0.10, 0.01, 0, 0.10, 0.45, 0.03, 45),
+		bench("specaccel", "353", 0.70, 0.45, 950, 0.10, 0.92, 0.94, 0.15, 0.01, 0, 0.20, 0.18, 0.04, 55),
+		bench("specaccel", "354", 0.55, 0.65, 2100, 0.15, 0.85, 0.91, 0.25, 0.02, 0, 0.30, 0.25, 0.06, 60),
+		bench("specaccel", "355", 0.45, 0.75, 3300, 0.12, 0.88, 0.90, 0.20, 0.02, 0, 0.35, 0.30, 0.05, 50),
+		bench("specaccel", "356", 0.65, 0.50, 1200, 0.14, 0.90, 0.93, 0.18, 0.01, 0, 0.25, 0.22, 0.04, 58),
+		bench("specaccel", "359", 0.80, 0.25, 300, 0.08, 0.95, 0.96, 0.05, 0.00, 0, 0.02, 0.03, 0.02, 40),
+		bench("specaccel", "363", 0.40, 0.80, 3900, 0.20, 0.80, 0.89, 0.30, 0.03, 0, 0.45, 0.38, 0.08, 75),
+
+		// Parboil [41] — throughput-computing kernels.
+		bench("parboil", "bfs", 0.20, 0.75, 600, 0.65, 0.05, 0.80, 0.40, 0.02, 0, 0.40, 0.45, 0.10, 8),
+		bench("parboil", "cutcp", 0.80, 0.30, 150, 0.12, 0.90, 0.92, 0.12, 0.01, 0, 0.10, 0.08, 0.03, 14),
+		bench("parboil", "histo", 0.25, 0.80, 1000, 0.40, 0.10, 0.85, 0.55, 0.02, 0, 0.60, 0.70, 0.12, 10),
+		bench("parboil", "lbm", 0.40, 0.90, 3800, 0.08, 0.85, 0.90, 0.20, 0.02, 0, 0.50, 0.30, 0.06, 35),
+		bench("parboil", "mrigridding", 0.35, 0.80, 2400, 0.30, 0.75, 0.88, 0.50, 0.02, 0, 0.55, 0.80, 0.15, 30),
+		bench("parboil", "sgemm", 0.85, 0.40, 750, 0.06, 0.95, 0.95, 0.10, 0.01, 0, 0.30, 0.50, 0.04, 12),
+		bench("parboil", "spmv", 0.25, 0.85, 1300, 0.35, 0.70, 0.88, 0.18, 0.01, 0, 0.08, 0.05, 0.04, 6),
+		bench("parboil", "stencil", 0.50, 0.85, 2800, 0.08, 0.88, 0.92, 0.22, 0.01, 0, 0.40, 0.28, 0.05, 16),
+
+		// Rodinia [42] — heterogeneous-computing benchmarks.
+		bench("rodinia", "backprop", 0.55, 0.60, 850, 0.15, 0.85, 0.90, 0.20, 0.01, 0, 0.25, 0.20, 0.05, 9),
+		bench("rodinia", "bfs", 0.18, 0.78, 700, 0.68, 0.05, 0.82, 0.38, 0.02, 0, 0.42, 0.40, 0.10, 7),
+		bench("rodinia", "heartwall", 0.75, 0.35, 220, 0.20, 0.85, 0.93, 0.08, 0.01, 0, 0.03, 0.04, 0.02, 20),
+		bench("rodinia", "hotspot", 0.60, 0.55, 640, 0.10, 0.88, 0.92, 0.15, 0.01, 0, 0.22, 0.25, 0.04, 11),
+		bench("rodinia", "kmeans", 0.45, 0.70, 1600, 0.25, 0.75, 0.88, 0.30, 0.05, 0, 0.35, 0.30, 0.08, 13),
+		bench("rodinia", "lavaMD", 0.85, 0.30, 380, 0.10, 0.93, 0.95, 0.12, 0.01, 0, 0.12, 0.10, 0.03, 24),
+		bench("rodinia", "leukocyte", 0.70, 0.40, 520, 0.18, 0.88, 0.92, 0.15, 0.01, 0, 0.15, 0.15, 0.04, 26),
+		bench("rodinia", "ludomp", 0.55, 0.50, 430, 0.22, 0.82, 0.90, 0.35, 0.01, 0, 0.30, 0.40, 0.07, 15),
+		bench("rodinia", "particle_filter", 0.40, 0.55, 760, 0.45, 0.65, 0.85, 0.45, 0.03, 0, 0.35, 0.35, 0.12, 18),
+		bench("rodinia", "pathfinder", 0.30, 0.72, 980, 0.35, 0.40, 0.86, 0.25, 0.01, 0, 0.28, 0.22, 0.06, 8),
+
+		// MLlib [43] — Spark machine-learning workloads on the JVM.
+		bench("mllib", "correlation", 0.35, 0.70, 2400, 0.40, 0.55, 0.80, 0.45, 0.20, 0.65, 0.45, 0.40, 0.35, 30),
+		bench("mllib", "dtclassifier", 0.40, 0.60, 1700, 0.55, 0.45, 0.78, 0.40, 0.18, 0.55, 0.35, 0.35, 0.30, 26),
+		bench("mllib", "fmclassifier", 0.50, 0.55, 1400, 0.45, 0.60, 0.80, 0.38, 0.15, 0.50, 0.30, 0.28, 0.28, 28),
+		bench("mllib", "gbtclassifier", 0.45, 0.58, 1900, 0.58, 0.50, 0.76, 0.48, 0.18, 0.60, 0.38, 0.42, 0.32, 38),
+		bench("mllib", "kmeans", 0.42, 0.68, 2100, 0.35, 0.60, 0.82, 0.42, 0.20, 0.55, 0.40, 0.30, 0.30, 24),
+		bench("mllib", "logisticregression", 0.55, 0.52, 1500, 0.30, 0.70, 0.84, 0.35, 0.15, 0.48, 0.28, 0.25, 0.25, 22),
+		bench("mllib", "lsvc", 0.58, 0.50, 1300, 0.28, 0.72, 0.84, 0.32, 0.14, 0.45, 0.25, 0.22, 0.24, 21),
+		bench("mllib", "mlp", 0.65, 0.45, 1100, 0.25, 0.80, 0.86, 0.30, 0.12, 0.42, 0.22, 0.20, 0.22, 34),
+		bench("mllib", "pca", 0.52, 0.62, 2000, 0.22, 0.75, 0.82, 0.35, 0.16, 0.50, 0.32, 0.26, 0.26, 27),
+		bench("mllib", "randomforestclassifier", 0.38, 0.62, 2300, 0.62, 0.45, 0.75, 0.50, 0.20, 0.62, 0.40, 0.45, 0.34, 42),
+		bench("mllib", "summarizer", 0.30, 0.75, 2600, 0.32, 0.50, 0.80, 0.40, 0.25, 0.58, 0.42, 0.32, 0.36, 18),
+	}
+}
+
+// FindWorkload returns the Table I workload with the given "suite/name"
+// identifier, or false when absent.
+func FindWorkload(id string) (Workload, bool) {
+	for _, w := range TableI() {
+		if w.ID() == id {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}

@@ -1,0 +1,113 @@
+package perfsim
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Workload is the application-level characteristics vector of one
+// benchmark. All intensity fields are nominally in [0, 1]; WorkingSetMB
+// and BaseSeconds are absolute. These characteristics are properties of
+// the application alone — the same Workload drives both systems, which
+// is what makes cross-system prediction (use case 2) learnable.
+type Workload struct {
+	Suite string
+	Name  string
+
+	// Compute is arithmetic intensity (useful work per memory access).
+	Compute float64
+	// Memory is memory-bandwidth pressure.
+	Memory float64
+	// WorkingSetMB is the resident working-set size.
+	WorkingSetMB float64
+	// Branch is branch-entropy (unpredictability of control flow).
+	Branch float64
+	// FPShare is the fraction of instructions that are floating-point.
+	FPShare float64
+	// Parallelism is the fraction of the node's cores kept busy.
+	Parallelism float64
+	// Sync is synchronization intensity (barriers, locks, task stealing).
+	Sync float64
+	// IO is file/network activity.
+	IO float64
+	// GC is managed-runtime overhead (JIT, garbage collection) — the
+	// MLlib suite runs on the JVM.
+	GC float64
+	// NUMASensitivity is how strongly performance depends on memory
+	// placement across sockets/CCXs.
+	NUMASensitivity float64
+	// PageSensitivity is how strongly performance depends on physical
+	// page allocation (cache-conflict luck) — the classic source of
+	// discrete performance modes.
+	PageSensitivity float64
+	// TailSensitivity is the propensity for straggler runs beyond
+	// IO/GC effects.
+	TailSensitivity float64
+	// BaseSeconds is the mean run time on the reference (Intel) system.
+	BaseSeconds float64
+}
+
+// ID returns the globally unique "suite/name" identifier.
+func (w Workload) ID() string { return w.Suite + "/" + w.Name }
+
+// String renders the identifier.
+func (w Workload) String() string { return w.ID() }
+
+// Validate sanity-checks the characteristic ranges.
+func (w Workload) Validate() error {
+	check := func(field string, v, lo, hi float64) error {
+		if v < lo || v > hi {
+			return fmt.Errorf("perfsim: %s: %s = %v outside [%v, %v]", w.ID(), field, v, lo, hi)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		field  string
+		v      float64
+		lo, hi float64
+	}{
+		{"Compute", w.Compute, 0, 1},
+		{"Memory", w.Memory, 0, 1},
+		{"WorkingSetMB", w.WorkingSetMB, 0.001, 1 << 20},
+		{"Branch", w.Branch, 0, 1},
+		{"FPShare", w.FPShare, 0, 1},
+		{"Parallelism", w.Parallelism, 0, 1},
+		{"Sync", w.Sync, 0, 1},
+		{"IO", w.IO, 0, 1},
+		{"GC", w.GC, 0, 1},
+		{"NUMASensitivity", w.NUMASensitivity, 0, 1},
+		{"PageSensitivity", w.PageSensitivity, 0, 1},
+		{"TailSensitivity", w.TailSensitivity, 0, 1},
+		{"BaseSeconds", w.BaseSeconds, 0.01, 1e6},
+	} {
+		if err := check(c.field, c.v, c.lo, c.hi); err != nil {
+			return err
+		}
+	}
+	if w.Suite == "" || w.Name == "" {
+		return fmt.Errorf("perfsim: workload with empty suite or name: %+v", w)
+	}
+	return nil
+}
+
+// hashFloat returns a deterministic value in [-1, 1] derived from the
+// workload identity and a salt. It gives every benchmark a stable,
+// unique fingerprint used to perturb metric rates and mode geometry so
+// that benchmarks within a suite are related but not identical —
+// mirroring how real applications in one suite share structure yet
+// differ in detail. The fingerprint is a property of the benchmark, not
+// of the system, so it is consistent across systems.
+func (w Workload) hashFloat(salt string) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(w.Suite))
+	_, _ = h.Write([]byte{'/'})
+	_, _ = h.Write([]byte(w.Name))
+	_, _ = h.Write([]byte{'#'})
+	_, _ = h.Write([]byte(salt))
+	v := h.Sum64()
+	// Map the top 53 bits onto [-1, 1).
+	return float64(v>>11)/float64(1<<52) - 1
+}
+
+// hash01 returns a deterministic value in [0, 1).
+func (w Workload) hash01(salt string) float64 { return (w.hashFloat(salt) + 1) / 2 }

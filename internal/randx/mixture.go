@@ -1,0 +1,104 @@
+package randx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Component is one mode of a mixture distribution. The component's base
+// shape is lognormal (location Mu, shape Sigma in log space) shifted by
+// Shift; an optional Pareto-style tail can be attached to model
+// scheduler-interference stragglers.
+type Component struct {
+	Weight float64 // mixture weight, need not be normalized
+	Mu     float64 // log-space location
+	Sigma  float64 // log-space shape (>= 0)
+	Shift  float64 // additive shift of the whole component
+
+	// TailProb is the probability that a draw from this component is
+	// replaced by a heavy-tail excursion multiplying the value by
+	// (1 + Pareto(TailAlpha)). Zero disables the tail.
+	TailProb  float64
+	TailAlpha float64 // Pareto shape; larger is lighter. Must be > 0 when TailProb > 0.
+	TailScale float64 // relative magnitude of tail excursions
+}
+
+// Mixture is a weighted mixture of Components. It is the ground-truth
+// run-time distribution family used by the performance simulator: the mix
+// of shifted lognormals covers narrow unimodal, wide skewed, bimodal, and
+// long-tailed shapes — the taxonomy observed in the paper's Figure 3.
+type Mixture struct {
+	Components []Component
+	weights    []float64 // cached for Categorical
+}
+
+// NewMixture validates and returns a mixture. At least one component with
+// positive weight is required.
+func NewMixture(components []Component) (*Mixture, error) {
+	if len(components) == 0 {
+		return nil, fmt.Errorf("randx: mixture needs at least one component")
+	}
+	var total float64
+	weights := make([]float64, len(components))
+	for i, c := range components {
+		if c.Weight < 0 || math.IsNaN(c.Weight) {
+			return nil, fmt.Errorf("randx: component %d has invalid weight %v", i, c.Weight)
+		}
+		if c.Sigma < 0 {
+			return nil, fmt.Errorf("randx: component %d has negative sigma %v", i, c.Sigma)
+		}
+		if c.TailProb < 0 || c.TailProb > 1 {
+			return nil, fmt.Errorf("randx: component %d has invalid tail probability %v", i, c.TailProb)
+		}
+		if c.TailProb > 0 && c.TailAlpha <= 0 {
+			return nil, fmt.Errorf("randx: component %d has tail without positive alpha", i)
+		}
+		weights[i] = c.Weight
+		total += c.Weight
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("randx: mixture weights sum to zero")
+	}
+	return &Mixture{Components: components, weights: weights}, nil
+}
+
+// Sample draws one value from the mixture.
+func (m *Mixture) Sample(r *RNG) float64 {
+	idx := r.Categorical(m.weights)
+	c := m.Components[idx]
+	v := c.Shift + math.Exp(r.Normal(c.Mu, c.Sigma))
+	if c.TailProb > 0 && r.Float64() < c.TailProb {
+		// Pareto excursion: scale by 1 + TailScale*(U^{-1/alpha} - 1).
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		v *= 1 + c.TailScale*(math.Pow(u, -1/c.TailAlpha)-1)
+	}
+	return v
+}
+
+// SampleN draws n values from the mixture.
+func (m *Mixture) SampleN(r *RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = m.Sample(r)
+	}
+	return out
+}
+
+// Mean returns the analytic mean of the mixture, ignoring tail excursions
+// (whose contribution is small by construction and accounted for in tests
+// only empirically).
+func (m *Mixture) Mean() float64 {
+	var total, acc float64
+	for _, c := range m.Components {
+		total += c.Weight
+		acc += c.Weight * (c.Shift + math.Exp(c.Mu+c.Sigma*c.Sigma/2))
+	}
+	return acc / total
+}
+
+// NumModes returns the number of mixture components — an upper bound on
+// (and for well-separated components, equal to) the mode count.
+func (m *Mixture) NumModes() int { return len(m.Components) }

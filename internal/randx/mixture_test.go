@@ -1,0 +1,131 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewMixtureValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cs   []Component
+	}{
+		{"empty", nil},
+		{"negative weight", []Component{{Weight: -1, Mu: 0, Sigma: 1}}},
+		{"zero total", []Component{{Weight: 0}}},
+		{"negative sigma", []Component{{Weight: 1, Sigma: -0.1}}},
+		{"bad tail prob", []Component{{Weight: 1, TailProb: 1.5}}},
+		{"tail without alpha", []Component{{Weight: 1, TailProb: 0.1}}},
+	}
+	for _, c := range cases {
+		if _, err := NewMixture(c.cs); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestMixtureSingleComponentMean(t *testing.T) {
+	m, err := NewMixture([]Component{{Weight: 1, Mu: 0, Sigma: 0.25, Shift: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(20)
+	xs := m.SampleN(r, 100000)
+	mean, _ := moments(xs)
+	want := m.Mean()
+	if math.Abs(mean-want) > 0.02 {
+		t.Errorf("sample mean = %v, analytic mean = %v", mean, want)
+	}
+	wantAnalytic := 10 + math.Exp(0.25*0.25/2)
+	if math.Abs(want-wantAnalytic) > 1e-12 {
+		t.Errorf("analytic mean = %v, want %v", want, wantAnalytic)
+	}
+}
+
+func TestMixtureBimodalSeparation(t *testing.T) {
+	// Two well-separated modes: ~60% around 11, ~40% around 15.
+	m, err := NewMixture([]Component{
+		{Weight: 0.6, Mu: 0, Sigma: 0.05, Shift: 10},
+		{Weight: 0.4, Mu: math.Log(5), Sigma: 0.02, Shift: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(21)
+	xs := m.SampleN(r, 50000)
+	var lo, hi int
+	for _, x := range xs {
+		if x < 13 {
+			lo++
+		} else {
+			hi++
+		}
+	}
+	fracLo := float64(lo) / float64(len(xs))
+	if math.Abs(fracLo-0.6) > 0.01 {
+		t.Errorf("low-mode fraction = %v, want ~0.6", fracLo)
+	}
+	if m.NumModes() != 2 {
+		t.Errorf("NumModes = %d, want 2", m.NumModes())
+	}
+}
+
+func TestMixtureTailProducesStragglers(t *testing.T) {
+	base := Component{Weight: 1, Mu: 0, Sigma: 0.01, Shift: 0}
+	tailed := base
+	tailed.TailProb = 0.05
+	tailed.TailAlpha = 2
+	tailed.TailScale = 1
+
+	mBase, _ := NewMixture([]Component{base})
+	mTail, _ := NewMixture([]Component{tailed})
+	r1, r2 := New(22), New(22)
+	n := 50000
+	maxBase, maxTail := 0.0, 0.0
+	countHigh := 0
+	for i := 0; i < n; i++ {
+		b := mBase.Sample(r1)
+		tv := mTail.Sample(r2)
+		if b > maxBase {
+			maxBase = b
+		}
+		if tv > maxTail {
+			maxTail = tv
+		}
+		if tv > 1.5 {
+			countHigh++
+		}
+	}
+	if maxTail <= maxBase*1.2 {
+		t.Errorf("tail did not produce stragglers: maxBase=%v maxTail=%v", maxBase, maxTail)
+	}
+	frac := float64(countHigh) / float64(n)
+	if frac < 0.005 || frac > 0.06 {
+		t.Errorf("straggler fraction = %v, want within (0.005, 0.06)", frac)
+	}
+}
+
+func TestMixtureSampleDeterministic(t *testing.T) {
+	m, _ := NewMixture([]Component{
+		{Weight: 1, Mu: 0, Sigma: 0.3},
+		{Weight: 2, Mu: 1, Sigma: 0.1, TailProb: 0.1, TailAlpha: 3, TailScale: 0.5},
+	})
+	a := m.SampleN(New(33), 100)
+	b := m.SampleN(New(33), 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("mixture sampling is not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestMixtureMeanMultiComponent(t *testing.T) {
+	m, _ := NewMixture([]Component{
+		{Weight: 1, Mu: 0, Sigma: 0, Shift: 1},  // constant 2
+		{Weight: 3, Mu: 0, Sigma: 0, Shift: 10}, // constant 11
+	})
+	want := (1*2.0 + 3*11.0) / 4
+	if got := m.Mean(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+}

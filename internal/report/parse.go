@@ -1,0 +1,39 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/distrep"
+)
+
+// ParseRep resolves a representation name used on command lines
+// ("histogram", "pymaxent"/"maxent", "pearsonrnd"/"pearson").
+func ParseRep(name string) (distrep.Kind, error) {
+	switch strings.ToLower(name) {
+	case "histogram", "hist":
+		return distrep.Histogram, nil
+	case "pymaxent", "maxent":
+		return distrep.MaxEnt, nil
+	case "pearsonrnd", "pearson":
+		return distrep.PearsonRnd, nil
+	default:
+		return 0, fmt.Errorf("unknown representation %q (want histogram, pymaxent, or pearsonrnd)", name)
+	}
+}
+
+// ParseModel resolves a model name used on command lines
+// ("knn", "rf"/"randomforest", "xgboost"/"xgb").
+func ParseModel(name string) (core.Model, error) {
+	switch strings.ToLower(name) {
+	case "knn":
+		return core.KNN, nil
+	case "rf", "randomforest", "forest":
+		return core.RandomForest, nil
+	case "xgboost", "xgb":
+		return core.XGBoost, nil
+	default:
+		return 0, fmt.Errorf("unknown model %q (want knn, rf, or xgboost)", name)
+	}
+}

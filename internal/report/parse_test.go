@@ -1,0 +1,42 @@
+package report
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/distrep"
+)
+
+func TestParseRep(t *testing.T) {
+	cases := map[string]distrep.Kind{
+		"histogram": distrep.Histogram, "hist": distrep.Histogram,
+		"pymaxent": distrep.MaxEnt, "maxent": distrep.MaxEnt, "MaxEnt": distrep.MaxEnt,
+		"pearsonrnd": distrep.PearsonRnd, "pearson": distrep.PearsonRnd, "PEARSON": distrep.PearsonRnd,
+	}
+	for in, want := range cases {
+		got, err := ParseRep(in)
+		if err != nil || got != want {
+			t.Errorf("ParseRep(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseRep("gaussian"); err == nil {
+		t.Error("unknown representation should fail")
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	cases := map[string]core.Model{
+		"knn": core.KNN, "KNN": core.KNN,
+		"rf": core.RandomForest, "randomforest": core.RandomForest, "forest": core.RandomForest,
+		"xgboost": core.XGBoost, "xgb": core.XGBoost,
+	}
+	for in, want := range cases {
+		got, err := ParseModel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseModel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseModel("svm"); err == nil {
+		t.Error("unknown model should fail")
+	}
+}

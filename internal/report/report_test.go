@@ -1,0 +1,246 @@
+package report
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/measure"
+	"repro/internal/perfsim"
+)
+
+var (
+	dbOnce sync.Once
+	db     *measure.Database
+)
+
+// reducedDB collects a small campaign shared by the report tests.
+func reducedDB(t *testing.T) *measure.Database {
+	t.Helper()
+	dbOnce.Do(func() {
+		d, err := measure.Collect(
+			[]*perfsim.System{perfsim.NewIntelSystem(), perfsim.NewAMDSystem()},
+			perfsim.TableI(),
+			measure.Config{Runs: 150, ProbeRuns: 30, Seed: 99},
+		)
+		if err != nil {
+			t.Fatalf("collect: %v", err)
+		}
+		db = d
+	})
+	if db == nil {
+		t.Fatal("campaign unavailable")
+	}
+	return db
+}
+
+// fastOpts keeps ensemble sizes tiny for test speed.
+func fastOpts() Options {
+	return Options{
+		Seed: 5, Samples: 5, Bins: 15,
+		ForestTrees: 8, XGBRounds: 5, XGBDepth: 2,
+		SweepSamples: []int{1, 5, 25},
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Samples != 10 || o.Bins != 30 || o.Seed != 1 || len(o.SweepSamples) != 8 {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestFig1(t *testing.T) {
+	r, err := Fig1(reducedDB(t), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "(a) measured, 150 samples") {
+		t.Error("panel (a) missing")
+	}
+	for _, panel := range []string{"(b) measured, 2 samples", "(e) measured, 10 samples", "(f) predicted"} {
+		if !strings.Contains(r.Text, panel) {
+			t.Errorf("panel %q missing", panel)
+		}
+	}
+	var measuredModes float64
+	for _, h := range r.Headlines {
+		if strings.Contains(h.Name, "376 measured modes") {
+			measuredModes = h.Measured
+		}
+	}
+	if measuredModes < 2 {
+		t.Errorf("376 measured modes = %v, want >= 2", measuredModes)
+	}
+}
+
+func TestFig3(t *testing.T) {
+	r, err := Fig3(reducedDB(t), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 61 { // header + 60 benchmarks
+		t.Fatalf("rows = %d, want 61", len(r.Rows))
+	}
+	if !strings.Contains(r.Text, "specomp/376") {
+		t.Error("fig3 text missing benchmarks")
+	}
+}
+
+func TestFig4GridComplete(t *testing.T) {
+	r, err := Fig4(reducedDB(t), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 10 { // header + 3 reps × 3 models
+		t.Fatalf("rows = %d, want 10", len(r.Rows))
+	}
+	if len(r.Headlines) != 6 {
+		t.Errorf("headlines = %d", len(r.Headlines))
+	}
+	for _, h := range r.Headlines[:5] {
+		if h.Measured <= 0 || h.Measured >= 1 {
+			t.Errorf("%s: measured = %v implausible", h.Name, h.Measured)
+		}
+	}
+}
+
+func TestFig5And9Overlays(t *testing.T) {
+	r5, err := Fig5(reducedDB(t), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r5.Rows) != 11 {
+		t.Fatalf("fig5 rows = %d, want 11", len(r5.Rows))
+	}
+	if !strings.Contains(r5.Text, "legend") {
+		t.Error("fig5 missing overlay legend")
+	}
+	r9, err := Fig9(reducedDB(t), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r9.Rows) != 11 {
+		t.Fatalf("fig9 rows = %d, want 11", len(r9.Rows))
+	}
+}
+
+func TestFig6SweepMonotoneTrend(t *testing.T) {
+	r, err := Fig6(reducedDB(t), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 { // header + 3 sweep points
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// On the reduced test campaign the sweep is noisy; require only that
+	// the 1-sample configuration is not clearly *better* than many
+	// samples (the full-scale trend is asserted in internal/core).
+	if r.Headlines[0].Measured < -0.02 {
+		t.Errorf("1-sample penalty = %v, want non-negative (Figure 6 trend)", r.Headlines[0].Measured)
+	}
+}
+
+func TestFig7And8(t *testing.T) {
+	r7, err := Fig7(reducedDB(t), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r7.Rows) != 10 {
+		t.Fatalf("fig7 rows = %d", len(r7.Rows))
+	}
+	r8, err := Fig8(reducedDB(t), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r8.Rows) != 3 {
+		t.Fatalf("fig8 rows = %d", len(r8.Rows))
+	}
+}
+
+func TestRenderIncludesEverything(t *testing.T) {
+	r, err := Fig8(reducedDB(t), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(r)
+	for _, want := range []string{"Figure 8", "AMD → Intel", "paper vs measured"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFigureRegistryComplete(t *testing.T) {
+	figs := Figures()
+	for _, id := range FigureIDs() {
+		if figs[id] == nil {
+			t.Errorf("figure %s missing from registry", id)
+		}
+	}
+	if len(FigureIDs()) != 8 {
+		t.Errorf("figure count = %d, want 8 (Figs 1, 3-9)", len(FigureIDs()))
+	}
+}
+
+func TestFiguresFailWithoutSystems(t *testing.T) {
+	bad := &measure.Database{}
+	for _, id := range FigureIDs() {
+		if _, err := Figures()[id](bad, fastOpts()); err == nil {
+			t.Errorf("%s: expected error for empty database", id)
+		}
+	}
+}
+
+func TestExtensionsRun(t *testing.T) {
+	db := reducedDB(t)
+	for _, id := range ExtensionIDs() {
+		r, err := Extensions()[id](db, fastOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if r.ID != id || r.Title == "" || len(r.Rows) < 2 {
+			t.Errorf("%s: malformed result: id=%q rows=%d", id, r.ID, len(r.Rows))
+		}
+		if Render(r) == "" {
+			t.Errorf("%s: empty render", id)
+		}
+	}
+}
+
+func TestExt3AgreementBounds(t *testing.T) {
+	db := reducedDB(t)
+	r, err := Ext3DivergenceRobustness(db, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := r.Headlines[0].Measured
+	if agree < 1 || agree > 5 {
+		t.Errorf("agreement count = %v, want within [1,5]", agree)
+	}
+}
+
+func TestExt4ReportsAdaptiveCosts(t *testing.T) {
+	db := reducedDB(t)
+	r, err := Ext4AdaptiveCost(db, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 11 {
+		t.Fatalf("rows = %d, want 11", len(r.Rows))
+	}
+	if r.Headlines[0].Measured < 10 {
+		t.Errorf("mean adaptive run cost = %v, want >= MinRuns", r.Headlines[0].Measured)
+	}
+}
+
+func TestExt5TopMetricsPlausible(t *testing.T) {
+	db := reducedDB(t)
+	r, err := Ext5FeatureImportance(db, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share := r.Headlines[0].Measured; share <= 0 || share > 1 {
+		t.Errorf("top-15 share = %v, want in (0, 1]", share)
+	}
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchSample(n int) []float64 {
+	rng := rand.New(rand.NewPCG(1, 2))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	return xs
+}
+
+func BenchmarkComputeMoments4(b *testing.B) {
+	xs := benchSample(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ComputeMoments4(xs)
+	}
+}
+
+func BenchmarkKSStatistic1000(b *testing.B) {
+	xs := benchSample(1000)
+	ys := benchSample(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = KSStatistic(xs, ys)
+	}
+}
+
+func BenchmarkWasserstein1(b *testing.B) {
+	xs := benchSample(1000)
+	ys := benchSample(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Wasserstein1(xs, ys)
+	}
+}
+
+func BenchmarkAndersonDarling(b *testing.B) {
+	xs := benchSample(1000)
+	ys := benchSample(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = AndersonDarling(xs, ys)
+	}
+}
+
+func BenchmarkKDEEvaluate(b *testing.B) {
+	xs := benchSample(1000)
+	k := NewKDE(xs)
+	grid := make([]float64, 256)
+	for i := range grid {
+		grid[i] = -4 + 8*float64(i)/255
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = k.Evaluate(grid)
+	}
+}
+
+func BenchmarkKDECountModes(b *testing.B) {
+	xs := benchSample(1000)
+	k := NewKDE(xs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = k.CountModes(512, 0.1)
+	}
+}
+
+func BenchmarkHistogramFromSample(b *testing.B) {
+	xs := benchSample(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = HistogramFromSample(xs, -4, 4, 50)
+	}
+}
+
+func BenchmarkQuantiles(b *testing.B) {
+	xs := benchSample(1000)
+	qs := []float64{0.01, 0.25, 0.5, 0.75, 0.95, 0.99}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Quantiles(xs, qs)
+	}
+}

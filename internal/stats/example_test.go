@@ -1,0 +1,40 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ExampleKSStatistic scores the agreement of two samples the way the
+// paper scores predicted distributions against measured ones.
+func ExampleKSStatistic() {
+	measured := []float64{0.98, 0.99, 1.00, 1.01, 1.02}
+	predicted := []float64{0.98, 0.99, 1.00, 1.01, 1.02}
+	fmt.Printf("identical: %.2f\n", stats.KSStatistic(measured, predicted))
+
+	shifted := []float64{1.08, 1.09, 1.10, 1.11, 1.12}
+	fmt.Printf("disjoint:  %.2f\n", stats.KSStatistic(measured, shifted))
+	// Output:
+	// identical: 0.00
+	// disjoint:  1.00
+}
+
+// ExampleComputeMoments4 extracts the four moments the prediction models
+// regress.
+func ExampleComputeMoments4() {
+	rel := []float64{0.95, 0.97, 1.0, 1.03, 1.05}
+	m := stats.ComputeMoments4(rel)
+	fmt.Printf("mean=%.2f std=%.3f skew=%.2f\n", m.Mean, m.Std, m.Skew)
+	// Output:
+	// mean=1.00 std=0.041 skew=0.00
+}
+
+// ExampleNormalize converts absolute run times to the paper's
+// "relative time" (normalized to the mean).
+func ExampleNormalize() {
+	seconds := []float64{95, 100, 105}
+	fmt.Println(stats.Normalize(seconds))
+	// Output:
+	// [0.95 1 1.05]
+}

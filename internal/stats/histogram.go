@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-bin histogram over [Lo, Hi). Values outside the
+// range are clamped into the first/last bin, which matches how the
+// paper's Histogram distribution representation treats outliers (the
+// relative-time support is fixed across benchmarks).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []float64 // may hold fractional weights after normalization
+}
+
+// NewHistogram allocates a histogram with bins bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		panic(fmt.Sprintf("stats: NewHistogram needs bins >= 1, got %d", bins))
+	}
+	if !(hi > lo) {
+		panic(fmt.Sprintf("stats: NewHistogram needs hi > lo, got [%v, %v)", lo, hi))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]float64, bins)}
+}
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.Counts)) }
+
+// BinIndex returns the bin that x falls into, clamping out-of-range
+// values to the boundary bins.
+func (h *Histogram) BinIndex(x float64) int {
+	i := int(math.Floor((x - h.Lo) / h.BinWidth()))
+	if i < 0 {
+		return 0
+	}
+	if i >= len(h.Counts) {
+		return len(h.Counts) - 1
+	}
+	return i
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) { h.Counts[h.BinIndex(x)]++ }
+
+// AddAll records a whole sample.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the sum of all bin weights.
+func (h *Histogram) Total() float64 {
+	var s float64
+	for _, c := range h.Counts {
+		s += c
+	}
+	return s
+}
+
+// Normalized returns a copy whose bin weights sum to 1 (a discrete PDF).
+// A histogram with zero total returns all-zero weights.
+func (h *Histogram) Normalized() *Histogram {
+	out := &Histogram{Lo: h.Lo, Hi: h.Hi, Counts: make([]float64, len(h.Counts))}
+	t := h.Total()
+	if t == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out.Counts[i] = c / t
+	}
+	return out
+}
+
+// Density returns the probability density value of bin i (normalized
+// weight divided by bin width).
+func (h *Histogram) Density(i int) float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	return h.Counts[i] / t / h.BinWidth()
+}
+
+// BinCenters returns the center x-coordinate of every bin.
+func (h *Histogram) BinCenters() []float64 {
+	w := h.BinWidth()
+	out := make([]float64, len(h.Counts))
+	for i := range out {
+		out[i] = h.Lo + (float64(i)+0.5)*w
+	}
+	return out
+}
+
+// HistogramFromSample builds and fills a histogram in one call.
+func HistogramFromSample(xs []float64, lo, hi float64, bins int) *Histogram {
+	h := NewHistogram(lo, hi, bins)
+	h.AddAll(xs)
+	return h
+}
+
+// SampleFromWeights draws n values distributed according to the
+// histogram's (possibly unnormalized) bin weights, placing each draw
+// uniformly within its bin. uniform must return values in [0, 1); two
+// calls are consumed per draw. This inverts the paper's Histogram
+// representation: a predicted bin vector becomes a concrete sample set
+// whose ECDF can be compared with the measured one.
+func (h *Histogram) SampleFromWeights(n int, uniform func() float64) []float64 {
+	total := h.Total()
+	if total <= 0 {
+		panic("stats: SampleFromWeights on empty histogram")
+	}
+	w := h.BinWidth()
+	out := make([]float64, n)
+	for k := range out {
+		u := uniform() * total
+		var cum float64
+		idx := len(h.Counts) - 1
+		for i, c := range h.Counts {
+			cum += c
+			if u < cum {
+				idx = i
+				break
+			}
+		}
+		out[k] = h.Lo + (float64(idx)+uniform())*w
+	}
+	return out
+}

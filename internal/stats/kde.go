@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+)
+
+// KDE is a Gaussian kernel density estimate over a sample — the smooth
+// curve representation the paper uses to visualize every performance
+// distribution (Figures 1, 3, 5, 9).
+type KDE struct {
+	sample    []float64
+	Bandwidth float64
+}
+
+// SilvermanBandwidth returns Silverman's rule-of-thumb bandwidth
+// 0.9 · min(σ, IQR/1.34) · n^{-1/5}, with fallbacks for degenerate
+// samples (zero IQR or zero variance).
+func SilvermanBandwidth(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: SilvermanBandwidth of empty sample")
+	}
+	sigma := StdDev(xs)
+	iqr := IQR(xs) / 1.349
+	spread := sigma
+	if iqr > 0 && iqr < spread {
+		spread = iqr
+	}
+	if spread <= 0 {
+		// Degenerate sample: fall back to a sliver of the magnitude so
+		// the KDE stays well-defined.
+		m := math.Abs(Mean(xs))
+		if m == 0 {
+			m = 1
+		}
+		spread = 1e-3 * m
+	}
+	return 0.9 * spread * math.Pow(float64(len(xs)), -0.2)
+}
+
+// NewKDE builds a KDE with Silverman's bandwidth.
+func NewKDE(xs []float64) *KDE {
+	return NewKDEWithBandwidth(xs, SilvermanBandwidth(xs))
+}
+
+// NewKDEWithBandwidth builds a KDE with an explicit bandwidth (> 0).
+func NewKDEWithBandwidth(xs []float64, bw float64) *KDE {
+	if len(xs) == 0 {
+		panic("stats: NewKDE of empty sample")
+	}
+	if bw <= 0 {
+		panic("stats: KDE bandwidth must be positive")
+	}
+	return &KDE{sample: append([]float64(nil), xs...), Bandwidth: bw}
+}
+
+const invSqrt2Pi = 0.3989422804014327
+
+// At evaluates the density estimate at x.
+func (k *KDE) At(x float64) float64 {
+	var s float64
+	inv := 1 / k.Bandwidth
+	for _, xi := range k.sample {
+		u := (x - xi) * inv
+		s += math.Exp(-0.5*u*u) * invSqrt2Pi
+	}
+	return s * inv / float64(len(k.sample))
+}
+
+// Evaluate computes the density on every point of grid.
+func (k *KDE) Evaluate(grid []float64) []float64 {
+	out := make([]float64, len(grid))
+	for i, x := range grid {
+		out[i] = k.At(x)
+	}
+	return out
+}
+
+// Support returns a plotting range [lo, hi] that covers the sample plus
+// three bandwidths of margin on each side.
+func (k *KDE) Support() (lo, hi float64) {
+	lo, hi = MinMax(k.sample)
+	return lo - 3*k.Bandwidth, hi + 3*k.Bandwidth
+}
+
+// CountModes estimates the number of modes of the density by evaluating
+// it on a grid of gridN points and counting strict local maxima above
+// relThreshold × the global maximum. It is used by the simulator's tests
+// and by the experiment reports to check that predicted distributions
+// recover multi-modality (one of the paper's qualitative claims).
+func (k *KDE) CountModes(gridN int, relThreshold float64) int {
+	lo, hi := k.Support()
+	if gridN < 8 {
+		gridN = 8
+	}
+	step := (hi - lo) / float64(gridN-1)
+	ys := make([]float64, gridN)
+	maxY := 0.0
+	for i := range ys {
+		ys[i] = k.At(lo + float64(i)*step)
+		if ys[i] > maxY {
+			maxY = ys[i]
+		}
+	}
+	threshold := relThreshold * maxY
+	modes := 0
+	for i := 1; i < gridN-1; i++ {
+		if ys[i] > ys[i-1] && ys[i] >= ys[i+1] && ys[i] >= threshold {
+			modes++
+		}
+	}
+	return modes
+}

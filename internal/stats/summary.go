@@ -1,0 +1,36 @@
+package stats
+
+import "fmt"
+
+// ViolinStats summarizes a score sample the way the paper's violin plots
+// do: extremes, quartiles, median, and mean. The experiment drivers print
+// one ViolinStats row per violin in Figures 4 and 6–8.
+type ViolinStats struct {
+	N                        int
+	Min, Q1, Median, Q3, Max float64
+	Mean, Std                float64
+}
+
+// Summarize computes a ViolinStats from xs.
+func Summarize(xs []float64) ViolinStats {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty sample")
+	}
+	qs := Quantiles(xs, []float64{0, 0.25, 0.5, 0.75, 1})
+	return ViolinStats{
+		N:      len(xs),
+		Min:    qs[0],
+		Q1:     qs[1],
+		Median: qs[2],
+		Q3:     qs[3],
+		Max:    qs[4],
+		Mean:   Mean(xs),
+		Std:    StdDev(xs),
+	}
+}
+
+// String renders the summary as a single aligned row.
+func (v ViolinStats) String() string {
+	return fmt.Sprintf("n=%-4d mean=%.3f std=%.3f min=%.3f q1=%.3f med=%.3f q3=%.3f max=%.3f",
+		v.N, v.Mean, v.Std, v.Min, v.Q1, v.Median, v.Q3, v.Max)
+}

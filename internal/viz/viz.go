@@ -1,0 +1,200 @@
+// Package viz renders the paper's figures as terminal graphics: kernel
+// density curves (Figures 1, 3, 5, 9), overlaid predicted-vs-actual
+// densities, violin summaries (Figures 4, 6, 7, 8), and aligned tables.
+// It replaces the matplotlib layer of the original workflow with
+// publication-shaped textual output suitable for logs and CI.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/numeric"
+	"repro/internal/stats"
+)
+
+// DensityPlot renders the KDE of a sample as a fixed-size block-character
+// curve with axis labels. width and height are in character cells.
+func DensityPlot(sample []float64, width, height int, title string) string {
+	k := stats.NewKDE(sample)
+	lo, hi := k.Support()
+	return densityPlotFromCurve(k.Evaluate(numeric.Linspace(lo, hi, width)), lo, hi, height, title)
+}
+
+// OverlayPlot renders two KDE curves (actual and predicted) in one
+// frame, with '#' marking the actual curve, '*' the predicted curve, and
+// '@' cells where both coincide — the textual equivalent of the paper's
+// overlay figures.
+func OverlayPlot(actual, predicted []float64, width, height int, title string) string {
+	ka := stats.NewKDE(actual)
+	kp := stats.NewKDE(predicted)
+	la, ha := ka.Support()
+	lp, hp := kp.Support()
+	lo, hi := math.Min(la, lp), math.Max(ha, hp)
+	grid := numeric.Linspace(lo, hi, width)
+	ya := ka.Evaluate(grid)
+	yp := kp.Evaluate(grid)
+	maxY := 0.0
+	for i := range ya {
+		maxY = math.Max(maxY, math.Max(ya[i], yp[i]))
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	cells := make([][]byte, height)
+	for r := range cells {
+		cells[r] = []byte(strings.Repeat(" ", width))
+	}
+	put := func(col int, y float64, ch byte) {
+		level := int(y / maxY * float64(height-1))
+		if level < 0 {
+			level = 0
+		}
+		if level > height-1 {
+			level = height - 1
+		}
+		row := height - 1 - level
+		switch {
+		case cells[row][col] == ' ':
+			cells[row][col] = ch
+		case cells[row][col] != ch:
+			cells[row][col] = '@'
+		}
+	}
+	for c := 0; c < width; c++ {
+		put(c, ya[c], '#')
+		put(c, yp[c], '*')
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for _, row := range cells {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, " %-10.3f%s%10.3f\n", lo, center("relative time", width-20), hi)
+	b.WriteString(" legend: # actual   * predicted   @ overlap\n")
+	return b.String()
+}
+
+func densityPlotFromCurve(ys []float64, lo, hi float64, height int, title string) string {
+	width := len(ys)
+	maxY := 0.0
+	for _, y := range ys {
+		if y > maxY {
+			maxY = y
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	levels := []rune(" .:-=+*#%@")
+	for r := height - 1; r >= 0; r-- {
+		b.WriteString("|")
+		for _, y := range ys {
+			frac := y / maxY * float64(height)
+			fill := frac - float64(r)
+			switch {
+			case fill <= 0:
+				b.WriteRune(' ')
+			case fill >= 1:
+				b.WriteRune(levels[len(levels)-1])
+			default:
+				b.WriteRune(levels[1+int(fill*float64(len(levels)-2))])
+			}
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, " %-10.3f%s%10.3f\n", lo, center("relative time", width-20), hi)
+	return b.String()
+}
+
+func center(s string, width int) string {
+	if width < len(s) {
+		return s
+	}
+	pad := width - len(s)
+	return strings.Repeat(" ", pad/2) + s + strings.Repeat(" ", pad-pad/2)
+}
+
+// Violin renders one horizontal text violin: a box-and-whisker row where
+// the glyph density sketches the distribution of the values over [lo, hi].
+func Violin(values []float64, lo, hi float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	// Bin the values and map counts onto glyph thickness.
+	h := stats.HistogramFromSample(values, lo, hi, width)
+	maxC := 0.0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC == 0 {
+		maxC = 1
+	}
+	glyphs := []rune(" .-=≡#")
+	var b strings.Builder
+	for _, c := range h.Counts {
+		idx := int(c / maxC * float64(len(glyphs)-1))
+		b.WriteRune(glyphs[idx])
+	}
+	return b.String()
+}
+
+// ViolinRow renders a labeled violin with its summary statistics — the
+// textual analog of one violin in the paper's Figures 4 and 6–8.
+func ViolinRow(label string, values []float64, lo, hi float64, width int) string {
+	v := stats.Summarize(values)
+	return fmt.Sprintf("%-28s [%s] mean=%.3f med=%.3f q1=%.3f q3=%.3f",
+		label, Violin(values, lo, hi, width), v.Mean, v.Median, v.Q1, v.Q3)
+}
+
+// Table renders rows with aligned columns; the first row is treated as a
+// header and underlined.
+func Table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for c, cell := range row {
+			if c >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell + strings.Repeat(" ", widths[c]-len(cell)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(rows[0])
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)) + "\n")
+	for _, row := range rows[1:] {
+		writeRow(row)
+	}
+	return b.String()
+}

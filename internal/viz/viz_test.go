@@ -1,0 +1,119 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func normalSample(n int) []float64 {
+	r := randx.New(1)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Normal(1, 0.05)
+	}
+	return out
+}
+
+func TestDensityPlotShape(t *testing.T) {
+	p := DensityPlot(normalSample(2000), 60, 10, "test")
+	lines := strings.Split(strings.TrimRight(p, "\n"), "\n")
+	// title + height rows + axis + labels.
+	if len(lines) != 1+10+1+1 {
+		t.Fatalf("line count = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "test") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	for _, l := range lines[1:11] {
+		if !strings.HasPrefix(l, "|") {
+			t.Errorf("plot row missing axis: %q", l)
+		}
+		if len([]rune(l)) != 61 {
+			t.Errorf("row width = %d, want 61", len([]rune(l)))
+		}
+	}
+	// The peak row must contain dense glyphs.
+	if !strings.ContainsAny(p, "#%@") {
+		t.Error("plot has no dense glyphs at the peak")
+	}
+}
+
+func TestOverlayPlotLegendAndGlyphs(t *testing.T) {
+	actual := normalSample(1500)
+	r := randx.New(2)
+	predicted := make([]float64, 1500)
+	for i := range predicted {
+		predicted[i] = r.Normal(1.02, 0.06)
+	}
+	p := OverlayPlot(actual, predicted, 60, 12, "overlay")
+	if !strings.Contains(p, "#") || !strings.Contains(p, "*") {
+		t.Error("overlay missing one of the curves")
+	}
+	if !strings.Contains(p, "legend") {
+		t.Error("overlay missing legend")
+	}
+}
+
+func TestOverlayPlotIdenticalSamplesOverlap(t *testing.T) {
+	s := normalSample(1000)
+	p := OverlayPlot(s, s, 50, 10, "")
+	if !strings.Contains(p, "@") {
+		t.Error("identical curves should produce overlap glyphs")
+	}
+}
+
+func TestViolinWidthAndGlyphs(t *testing.T) {
+	r := randx.New(3)
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = r.Uniform(0.2, 0.3)
+	}
+	v := Violin(vals, 0, 1, 40)
+	if len([]rune(v)) != 40 {
+		t.Fatalf("violin width = %d, want 40", len([]rune(v)))
+	}
+	// Mass concentrated near 25% of the axis.
+	runes := []rune(v)
+	if runes[10] == ' ' {
+		t.Error("expected mass near position 10")
+	}
+	if runes[35] != ' ' {
+		t.Error("expected emptiness near position 35")
+	}
+	if got := Violin(vals, 0, 1, 5); len([]rune(got)) != 10 {
+		t.Errorf("minimum width not enforced: %d", len([]rune(got)))
+	}
+}
+
+func TestViolinRow(t *testing.T) {
+	row := ViolinRow("kNN/PearsonRnd", []float64{0.1, 0.2, 0.3}, 0, 1, 30)
+	if !strings.Contains(row, "kNN/PearsonRnd") || !strings.Contains(row, "mean=0.200") {
+		t.Errorf("row = %q", row)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([][]string{
+		{"name", "ks"},
+		{"benchmark-with-long-name", "0.241"},
+		{"b", "0.3"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("line count = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[2], "0.241") {
+		t.Errorf("table content wrong:\n%s", out)
+	}
+	// Columns aligned: "ks" column starts at the same offset in all rows.
+	idx0 := strings.Index(lines[0], "ks")
+	idx2 := strings.Index(lines[2], "0.241")
+	if idx0 != idx2 {
+		t.Errorf("columns not aligned: %d vs %d", idx0, idx2)
+	}
+	if Table(nil) != "" {
+		t.Error("empty table should render empty")
+	}
+}
