@@ -1,0 +1,154 @@
+// Command varserve runs the online prediction service: it loads (or
+// collects) a measurement database and serves use-case-1/2 distribution
+// predictions over HTTP, with the trained models cached so repeated
+// queries cost O(predict) instead of O(train).
+//
+// Usage:
+//
+//	varserve -db campaign.gob.gz                      # serve on :8080
+//	varserve -addr :9090 -workers 16 -timeout 10s     # tuned
+//	varserve -warm                                    # pre-train default models
+//	varserve -loadgen -requests 600 -model xgboost    # self-hosted benchmark
+//	varserve -loadgen -url http://host:8080           # benchmark a remote server
+//
+// Endpoints: POST /v1/predict/uc1, POST /v1/predict/uc2,
+// GET /v1/systems, /healthz, /readyz, /metrics. See the "Serving
+// predictions" section of README.md for the request/response reference.
+//
+// The server drains gracefully on SIGINT/SIGTERM: readiness flips to
+// 503 and in-flight requests get time to finish.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/perfsim"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("varserve: ")
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dbPath  = flag.String("db", "", "measurement database from varcollect (collected on the fly when empty)")
+		runs    = flag.Int("runs", 400, "on-the-fly campaign size when -db is not given")
+		seed    = flag.Uint64("seed", 1, "on-the-fly campaign seed")
+		workers = flag.Int("workers", 0, "max concurrent predictions (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		warm    = flag.Bool("warm", false, "pre-train the default full models before serving")
+
+		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of (or against) a server")
+		url      = flag.String("url", "", "loadgen target (empty = self-host an in-process server)")
+		requests = flag.Int("requests", 300, "loadgen total requests")
+		conc     = flag.Int("concurrency", 8, "loadgen client workers")
+		usecase  = flag.Int("usecase", 1, "loadgen use case (1 or 2)")
+		model    = flag.String("model", "knn", "loadgen model (knn | rf | xgboost | ridge)")
+		repName  = flag.String("rep", "pearsonrnd", "loadgen representation")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if *loadgen && *url != "" {
+		// Benchmark a remote server; no database needed locally.
+		runLoadgen(ctx, *url, *requests, *conc, *usecase, *model, *repName)
+		return
+	}
+
+	db := loadDatabase(*dbPath, *runs, *seed)
+	listenAddr := *addr
+	if *loadgen {
+		listenAddr = "127.0.0.1:0" // self-hosted benchmark target
+	}
+	srv := serve.New(db, serve.Config{
+		Addr:           listenAddr,
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+	})
+	if *warm {
+		warmStart := time.Now()
+		if err := srv.Predictor().Warm(
+			[]core.UC1Config{{NumSamples: 10, Seed: 1}},
+			[]core.UC2Config{{Seed: 1}},
+		); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("warmed default models in %v", time.Since(warmStart).Round(time.Millisecond))
+	}
+
+	if *loadgen {
+		// Self-hosted benchmark: serve on a loopback port, hammer it,
+		// report, exit.
+		if err := srv.Listen(); err != nil {
+			log.Fatal(err)
+		}
+		srvCtx, cancel := context.WithCancel(ctx)
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(srvCtx) }()
+		log.Printf("self-hosted server on http://%s", srv.Addr())
+		runLoadgen(ctx, "http://"+srv.Addr(), *requests, *conc, *usecase, *model, *repName)
+		cancel()
+		if err := <-done; err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if err := srv.Listen(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving predictions on %s (%d systems, %d benchmarks each)",
+		srv.Addr(), len(db.Systems), len(db.Systems[0].Benchmarks))
+	if err := srv.Serve(ctx); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained, bye")
+}
+
+// loadDatabase loads a persisted campaign or collects a reduced one.
+func loadDatabase(path string, runs int, seed uint64) *measure.Database {
+	if path != "" {
+		db, err := measure.Load(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return db
+	}
+	log.Printf("no -db given; collecting an on-the-fly campaign (%d runs per benchmark)...", runs)
+	start := time.Now()
+	db, err := measure.Collect(
+		[]*perfsim.System{perfsim.NewIntelSystem(), perfsim.NewAMDSystem()},
+		perfsim.TableI(),
+		measure.Config{Runs: runs, ProbeRuns: 120, Seed: seed},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("collected in %v", time.Since(start).Round(time.Millisecond))
+	return db
+}
+
+func runLoadgen(ctx context.Context, url string, requests, conc, usecase int, model, rep string) {
+	res, err := serve.Loadgen(ctx, serve.LoadgenOptions{
+		URL:            url,
+		UseCase:        usecase,
+		Requests:       requests,
+		Concurrency:    conc,
+		Model:          model,
+		Representation: rep,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+}

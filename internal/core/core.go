@@ -1,20 +1,3 @@
-// Package core implements the paper's contribution: predicting the full
-// performance distribution of an application from learned models.
-//
-// Two use cases are provided (Section III-A):
-//
-//   - Use case 1 (FewRuns): predict an application's run-time
-//     distribution on a system from a few runs of the application on
-//     that system, using a system-specific model trained on the profiles
-//     and measured distributions of other benchmarks.
-//   - Use case 2 (CrossSystem): predict the distribution on a target
-//     system from the profile and measured distribution of the
-//     application on a different source system.
-//
-// Both use cases are evaluated with leave-one-group-out cross-validation
-// (each benchmark is a group) and scored with the two-sample
-// Kolmogorov–Smirnov statistic against the measured 1,000-run
-// distribution, exactly as in the paper's Section V.
 package core
 
 import (

@@ -1,0 +1,38 @@
+// Package core implements the paper's contribution: predicting the full
+// performance distribution of an application from learned models.
+//
+// Two use cases are provided (Section III-A):
+//
+//   - Use case 1 (FewRuns): predict an application's run-time
+//     distribution on a system from a few runs of the application on
+//     that system, using a system-specific model trained on the profiles
+//     and measured distributions of other benchmarks.
+//   - Use case 2 (CrossSystem): predict the distribution on a target
+//     system from the profile and measured distribution of the
+//     application on a different source system.
+//
+// Both use cases are evaluated with leave-one-group-out cross-validation
+// (each benchmark is a group) and scored with the two-sample
+// Kolmogorov–Smirnov statistic against the measured 1,000-run
+// distribution, exactly as in the paper's Section V.
+//
+// The package offers two entry points per use case:
+//
+//   - The batch functions (EvaluateUC1/2, PredictUC1/2) rebuild the
+//     feature dataset and retrain the model on every call. They back the
+//     figure reproductions in internal/report and the CLI tools, where
+//     each invocation is a one-shot experiment.
+//   - Predictor serves the same predictions online: the assembled
+//     learning problem and each fitted model are cached behind
+//     singleflight-style cells, so repeated requests skip training
+//     entirely. It is the engine of internal/serve and cmd/varserve,
+//     and additionally supports the paper's true deployment scenario —
+//     predicting an application the database has never seen from its
+//     raw probe runs (PredictUC1Profile/PredictUC2Profile).
+//
+// In paper terms: internal/features builds Section III-B1's profiles,
+// internal/distrep encodes/decodes Section III-B2's distribution
+// representations, internal/ml supplies Section III-B3's models, and
+// this package wires them into the training and prediction pipelines
+// whose accuracy Section V reports.
+package core

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/features"
+	"repro/internal/measure"
+	"repro/internal/ml"
+	"repro/internal/perfsim"
+	"repro/internal/randx"
+)
+
+// Sentinel errors for request-path lookups, so serving layers can map
+// them to proper HTTP status codes with errors.Is.
+var (
+	// ErrUnknownSystem reports a system name absent from the database.
+	ErrUnknownSystem = errors.New("unknown system")
+	// ErrUnknownBenchmark reports a benchmark ID absent from a system.
+	ErrUnknownBenchmark = errors.New("unknown benchmark")
+)
+
+// Predictor serves use-case-1/2 predictions from a measurement database
+// with the expensive state cached: the assembled learning problem
+// (profiles + encoded distributions) is built once per (system, config)
+// and each fitted model once per (system, config, held-out benchmark).
+// The batch entry points PredictUC1/PredictUC2 rebuild and retrain on
+// every call, which is fine for a one-shot CLI but turns an online
+// request into an O(train) operation; a Predictor makes repeat requests
+// O(predict).
+//
+// A Predictor is safe for concurrent use. Cache population is
+// singleflight-style: concurrent requests for the same key block on one
+// build instead of duplicating it. Fitted models are immutable after
+// Fit, and decoding draws from a fresh seed-derived RNG per request, so
+// identical requests return identical predictions whether they hit or
+// miss the cache.
+type Predictor struct {
+	db *measure.Database
+
+	datasets sync.Map // datasetKey -> *dataCell
+	models   sync.Map // modelKey -> *modelCell
+
+	hits, misses atomic.Uint64
+}
+
+// NewPredictor wraps a loaded measurement database in an empty cache.
+func NewPredictor(db *measure.Database) *Predictor {
+	return &Predictor{db: db}
+}
+
+// DB exposes the underlying database (read-only by convention).
+func (p *Predictor) DB() *measure.Database { return p.db }
+
+// CacheStats reports how many prediction requests were served from an
+// already-fitted model (hits) versus had to train one (misses).
+type CacheStats struct {
+	Hits, Misses uint64
+}
+
+// CacheStats returns a snapshot of the hit/miss counters.
+func (p *Predictor) CacheStats() CacheStats {
+	return CacheStats{Hits: p.hits.Load(), Misses: p.misses.Load()}
+}
+
+// Prediction is the outcome of one online prediction request.
+type Prediction struct {
+	// Predicted is the predicted relative-time sample.
+	Predicted []float64
+	// Actual is the measured ground-truth sample, nil when the request
+	// predicted from a caller-supplied probe profile (no holdout).
+	Actual []float64
+	// CacheHit reports whether the fitted model was reused.
+	CacheHit bool
+}
+
+// datasetKey identifies one assembled learning problem.
+type datasetKey struct {
+	useCase int    // 1 or 2
+	system  string // UC1 system / UC2 source system
+	target  string // UC2 target system ("" for UC1)
+	uc1     UC1Config
+	uc2     UC2Config
+}
+
+// modelKey identifies one fitted model: a dataset plus the benchmark
+// held out of training ("" = trained on every benchmark, the deployment
+// model for raw-profile requests).
+type modelKey struct {
+	data    datasetKey
+	holdout string
+}
+
+type dataCell struct {
+	once sync.Once
+	data *uc1Data
+	err  error
+}
+
+type modelCell struct {
+	once sync.Once
+	reg  ml.Regressor
+	test int // row index of the held-out benchmark, -1 for full models
+	err  error
+}
+
+// dataset returns the cached learning problem for key, building it on
+// first use.
+func (p *Predictor) dataset(k datasetKey) (*uc1Data, error) {
+	v, _ := p.datasets.LoadOrStore(k, &dataCell{})
+	c := v.(*dataCell)
+	c.once.Do(func() { c.data, c.err = p.buildDataset(k) })
+	return c.data, c.err
+}
+
+func (p *Predictor) buildDataset(k datasetKey) (*uc1Data, error) {
+	switch k.useCase {
+	case 1:
+		sd, err := p.system(k.system)
+		if err != nil {
+			return nil, err
+		}
+		return buildUC1(sd, k.uc1)
+	case 2:
+		src, err := p.system(k.system)
+		if err != nil {
+			return nil, err
+		}
+		dst, err := p.system(k.target)
+		if err != nil {
+			return nil, err
+		}
+		return buildUC2(src, dst, k.uc2)
+	default:
+		return nil, fmt.Errorf("core: bad use case %d", k.useCase)
+	}
+}
+
+func (p *Predictor) system(name string) (*measure.SystemData, error) {
+	sd, ok := p.db.System(name)
+	if !ok {
+		return nil, fmt.Errorf("core: %w %q", ErrUnknownSystem, name)
+	}
+	return sd, nil
+}
+
+// model returns the cached fitted regressor for key, training it on
+// first use, and reports whether the call was served from the cache.
+func (p *Predictor) model(k modelKey) (*uc1Data, ml.Regressor, int, bool, error) {
+	data, err := p.dataset(k.data)
+	if err != nil {
+		return nil, nil, 0, false, err
+	}
+	v, _ := p.models.LoadOrStore(k, &modelCell{})
+	c := v.(*modelCell)
+	built := false
+	c.once.Do(func() {
+		built = true
+		c.reg, c.test, c.err = fitModel(data, k)
+	})
+	if c.err != nil {
+		return nil, nil, 0, false, c.err
+	}
+	hit := !built
+	if hit {
+		p.hits.Add(1)
+	} else {
+		p.misses.Add(1)
+	}
+	return data, c.reg, c.test, hit, nil
+}
+
+// fitModel trains one regressor on the dataset, excluding the holdout
+// benchmark when set.
+func fitModel(data *uc1Data, k modelKey) (ml.Regressor, int, error) {
+	var model Model
+	var opts ModelOptions
+	var seed uint64
+	if k.data.useCase == 1 {
+		model, opts, seed = k.data.uc1.Model, k.data.uc1.Models, k.data.uc1.Seed
+	} else {
+		model, opts, seed = k.data.uc2.Model, k.data.uc2.Models, k.data.uc2.Seed
+	}
+	test := -1
+	train := make([]int, 0, len(data.ids))
+	for i, id := range data.ids {
+		if id == k.holdout && k.holdout != "" {
+			test = i
+		} else {
+			train = append(train, i)
+		}
+	}
+	if k.holdout != "" && test < 0 {
+		return nil, 0, fmt.Errorf("core: %w %q", ErrUnknownBenchmark, k.holdout)
+	}
+	reg, err := newModel(model, seed, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := reg.Fit(data.dataset.Subset(train)); err != nil {
+		return nil, 0, err
+	}
+	return reg, test, nil
+}
+
+// PredictUC1 predicts benchmarkID's distribution on the named system
+// from its few-run profile, training on the other benchmarks (cached).
+// The returned Prediction carries the measured ground truth so callers
+// can score the prediction. Identical to the batch PredictUC1 for the
+// same seed, but O(predict) on repeat calls.
+func (p *Predictor) PredictUC1(system, benchmarkID string, cfg UC1Config) (*Prediction, error) {
+	k := modelKey{data: datasetKey{useCase: 1, system: system, uc1: cfg}, holdout: benchmarkID}
+	if err := p.checkBenchmark(system, benchmarkID); err != nil {
+		return nil, err
+	}
+	data, reg, test, hit, err := p.model(k)
+	if err != nil {
+		return nil, err
+	}
+	return decodeHoldout(data, reg, test, cfg.Seed, hit), nil
+}
+
+// PredictUC2 predicts benchmarkID's distribution on the target system
+// from its source-system measurements, training on the other benchmarks
+// (cached).
+func (p *Predictor) PredictUC2(src, dst, benchmarkID string, cfg UC2Config) (*Prediction, error) {
+	if err := p.checkBenchmark(src, benchmarkID); err != nil {
+		return nil, err
+	}
+	if err := p.checkBenchmark(dst, benchmarkID); err != nil {
+		return nil, err
+	}
+	k := modelKey{data: datasetKey{useCase: 2, system: src, target: dst, uc2: cfg}, holdout: benchmarkID}
+	data, reg, test, hit, err := p.model(k)
+	if err != nil {
+		return nil, err
+	}
+	return decodeHoldout(data, reg, test, cfg.Seed, hit), nil
+}
+
+// checkBenchmark validates the (system, benchmark) pair up front so
+// unknown IDs fail fast with a typed error instead of populating the
+// cache with failure cells for arbitrary request strings.
+func (p *Predictor) checkBenchmark(system, benchmarkID string) error {
+	sd, err := p.system(system)
+	if err != nil {
+		return err
+	}
+	if _, ok := sd.Find(benchmarkID); !ok {
+		return fmt.Errorf("core: %w %q on system %q", ErrUnknownBenchmark, benchmarkID, system)
+	}
+	return nil
+}
+
+// decodeHoldout turns the fitted model's output for the held-out row
+// into a concrete sample, using the same seed derivation as the batch
+// predictHoldout so cached and uncached answers agree bit-for-bit.
+func decodeHoldout(data *uc1Data, reg ml.Regressor, test int, seed uint64, hit bool) *Prediction {
+	predVec := reg.Predict(data.dataset.X[test])
+	actual := data.rel[test]
+	predicted := data.rep.Decode(predVec, len(actual), randx.New(seed^0xD1B54A32D192ED03))
+	return &Prediction{Predicted: predicted, Actual: actual, CacheHit: hit}
+}
+
+// PredictUC1Profile predicts a distribution on the named system from a
+// caller-supplied probe profile (runs of an application the database
+// has never seen), using the full model trained on every benchmark —
+// the paper's actual deployment scenario. n is the number of samples to
+// decode (the database's runs-per-benchmark when <= 0).
+func (p *Predictor) PredictUC1Profile(system string, probe []perfsim.Run, n int, cfg UC1Config) (*Prediction, error) {
+	sd, err := p.system(system)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := buildProfile(probe, sd.MetricNames, cfg.FeatureMeanOnly)
+	if err != nil {
+		return nil, err
+	}
+	k := modelKey{data: datasetKey{useCase: 1, system: system, uc1: cfg}}
+	data, reg, _, hit, err := p.model(k)
+	if err != nil {
+		return nil, err
+	}
+	return p.decodeProfile(data, reg, prof.Values, n, cfg.Seed, hit)
+}
+
+// PredictUC2Profile predicts a distribution on the target system from
+// an application's source-system probe runs and measured relative
+// times, using the full cross-system model trained on every benchmark.
+func (p *Predictor) PredictUC2Profile(src, dst string, probe []perfsim.Run, srcRelTimes []float64, n int, cfg UC2Config) (*Prediction, error) {
+	srcSys, err := p.system(src)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.system(dst); err != nil {
+		return nil, err
+	}
+	if len(srcRelTimes) < 2 {
+		return nil, fmt.Errorf("core: UC2 profile needs >= 2 source relative times, got %d", len(srcRelTimes))
+	}
+	prof, err := buildProfile(probe, srcSys.MetricNames, false)
+	if err != nil {
+		return nil, err
+	}
+	k := modelKey{data: datasetKey{useCase: 2, system: src, target: dst, uc2: cfg}}
+	data, reg, _, hit, err := p.model(k)
+	if err != nil {
+		return nil, err
+	}
+	input := features.Concat(prof, features.Labeled("src-dist", data.rep.Encode(srcRelTimes)))
+	return p.decodeProfile(data, reg, input.Values, n, cfg.Seed, hit)
+}
+
+func buildProfile(probe []perfsim.Run, metricNames []string, meanOnly bool) (*features.Profile, error) {
+	if meanOnly {
+		return features.MeanOnly(probe, metricNames)
+	}
+	return features.FromRuns(probe, metricNames)
+}
+
+func (p *Predictor) decodeProfile(data *uc1Data, reg ml.Regressor, input []float64, n int, seed uint64, hit bool) (*Prediction, error) {
+	if got, want := len(input), len(data.dataset.X[0]); got != want {
+		return nil, fmt.Errorf("core: profile has %d features, model expects %d", got, want)
+	}
+	if n <= 0 {
+		n = p.db.RunsPerBenchmark
+	}
+	if n <= 0 {
+		n = 1000 // the paper's campaign size
+	}
+	predVec := reg.Predict(input)
+	predicted := data.rep.Decode(predVec, n, randx.New(seed^0xD1B54A32D192ED03))
+	return &Prediction{Predicted: predicted, CacheHit: hit}, nil
+}
+
+// Warm pre-trains the full (no-holdout) models for the given configs on
+// every system, so the first live request is already O(predict). It is
+// the server's readiness hook.
+func (p *Predictor) Warm(uc1 []UC1Config, uc2 []UC2Config) error {
+	for _, sd := range p.db.Systems {
+		for _, cfg := range uc1 {
+			k := modelKey{data: datasetKey{useCase: 1, system: sd.SystemName, uc1: cfg}}
+			if _, _, _, _, err := p.model(k); err != nil {
+				return fmt.Errorf("core: warm UC1 %s: %w", sd.SystemName, err)
+			}
+		}
+		for _, cfg := range uc2 {
+			for _, dst := range p.db.Systems {
+				if dst.SystemName == sd.SystemName {
+					continue
+				}
+				k := modelKey{data: datasetKey{useCase: 2, system: sd.SystemName, target: dst.SystemName, uc2: cfg}}
+				if _, _, _, _, err := p.model(k); err != nil {
+					return fmt.Errorf("core: warm UC2 %s->%s: %w", sd.SystemName, dst.SystemName, err)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/distrep"
+)
+
+func predictorConfig() UC1Config {
+	return UC1Config{Rep: distrep.PearsonRnd, Model: KNN, NumSamples: 10, Seed: 7}
+}
+
+func TestPredictorMatchesBatchPredict(t *testing.T) {
+	db := testCampaign(t)
+	p := NewPredictor(db)
+	cfg := predictorConfig()
+	bench := db.Systems[0].Benchmarks[0].Workload.ID()
+	sys := db.Systems[0].SystemName
+
+	got, err := p.PredictUC1(sys, bench, cfg)
+	if err != nil {
+		t.Fatalf("predictor: %v", err)
+	}
+	sd, _ := db.System(sys)
+	wantPred, wantActual, err := PredictUC1(sd, bench, cfg)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if len(got.Predicted) != len(wantPred) {
+		t.Fatalf("predicted length %d != batch %d", len(got.Predicted), len(wantPred))
+	}
+	for i := range wantPred {
+		if got.Predicted[i] != wantPred[i] {
+			t.Fatalf("predicted[%d] = %v, batch = %v: cached predictor must agree bit-for-bit", i, got.Predicted[i], wantPred[i])
+		}
+	}
+	for i := range wantActual {
+		if got.Actual[i] != wantActual[i] {
+			t.Fatalf("actual[%d] diverges from batch", i)
+		}
+	}
+}
+
+func TestPredictorCacheHitSkipsRefit(t *testing.T) {
+	db := testCampaign(t)
+	p := NewPredictor(db)
+	cfg := predictorConfig()
+	sys := db.Systems[0].SystemName
+	bench := db.Systems[0].Benchmarks[1].Workload.ID()
+
+	first, err := p.PredictUC1(sys, bench, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Error("first request must be a miss")
+	}
+	s0 := p.CacheStats()
+	if s0.Misses != 1 || s0.Hits != 0 {
+		t.Errorf("after first request: stats = %+v, want 1 miss / 0 hits", s0)
+	}
+
+	second, err := p.PredictUC1(sys, bench, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Error("identical second request must be a cache hit")
+	}
+	s1 := p.CacheStats()
+	if s1.Misses != 1 {
+		t.Errorf("second identical request refit the model: misses = %d", s1.Misses)
+	}
+	if s1.Hits != 1 {
+		t.Errorf("hit counter did not increment: hits = %d", s1.Hits)
+	}
+	for i := range first.Predicted {
+		if first.Predicted[i] != second.Predicted[i] {
+			t.Fatalf("hit and miss disagree at sample %d: identical seed must give identical output", i)
+		}
+	}
+
+	// A different benchmark shares the dataset but needs its own fit.
+	other := db.Systems[0].Benchmarks[2].Workload.ID()
+	if _, err := p.PredictUC1(sys, other, cfg); err != nil {
+		t.Fatal(err)
+	}
+	s2 := p.CacheStats()
+	if s2.Misses != 2 {
+		t.Errorf("distinct holdout should miss: misses = %d", s2.Misses)
+	}
+}
+
+func TestPredictorUnknownIDs(t *testing.T) {
+	db := testCampaign(t)
+	p := NewPredictor(db)
+	cfg := predictorConfig()
+
+	if _, err := p.PredictUC1("vax", "specomp/376", cfg); !errors.Is(err, ErrUnknownSystem) {
+		t.Errorf("unknown system: got %v, want ErrUnknownSystem", err)
+	}
+	if _, err := p.PredictUC1(db.Systems[0].SystemName, "nosuite/nobench", cfg); !errors.Is(err, ErrUnknownBenchmark) {
+		t.Errorf("unknown benchmark: got %v, want ErrUnknownBenchmark", err)
+	}
+	if _, err := p.PredictUC2("vax", "intel", "specomp/376", UC2Config{Seed: 1}); !errors.Is(err, ErrUnknownSystem) {
+		t.Errorf("UC2 unknown source: got %v, want ErrUnknownSystem", err)
+	}
+}
+
+func TestPredictorConcurrentIdenticalRequests(t *testing.T) {
+	db := testCampaign(t)
+	p := NewPredictor(db)
+	cfg := predictorConfig()
+	sys := db.Systems[0].SystemName
+	bench := db.Systems[0].Benchmarks[3].Workload.ID()
+
+	const goroutines = 8
+	preds := make([]*Prediction, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			preds[g], errs[g] = p.PredictUC1(sys, bench, cfg)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		for i := range preds[0].Predicted {
+			if preds[g].Predicted[i] != preds[0].Predicted[i] {
+				t.Fatalf("goroutine %d diverges at sample %d", g, i)
+			}
+		}
+	}
+	// Singleflight: exactly one build regardless of contention.
+	s := p.CacheStats()
+	if s.Misses != 1 {
+		t.Errorf("concurrent identical requests trained %d times, want 1", s.Misses)
+	}
+	if s.Hits != goroutines-1 {
+		t.Errorf("hits = %d, want %d", s.Hits, goroutines-1)
+	}
+}
+
+func TestPredictorProfilePaths(t *testing.T) {
+	db := testCampaign(t)
+	p := NewPredictor(db)
+	sys := db.Systems[0].SystemName
+	b := &db.Systems[0].Benchmarks[4]
+
+	// UC1 from a raw probe profile: an "unseen" application standing in
+	// via the benchmark's reserved probe runs.
+	cfg := predictorConfig()
+	pred, err := p.PredictUC1Profile(sys, b.ProbeRuns[:10], 500, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Actual != nil {
+		t.Error("profile predictions carry no ground truth")
+	}
+	if len(pred.Predicted) != 500 {
+		t.Errorf("asked for 500 samples, got %d", len(pred.Predicted))
+	}
+	for _, v := range pred.Predicted {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite predicted sample")
+		}
+	}
+
+	// UC2 from source-system probe runs plus the measured source sample.
+	src, dst := db.Systems[0].SystemName, db.Systems[1].SystemName
+	pred2, err := p.PredictUC2Profile(src, dst, b.Runs[:50], b.RelTimes(), 300, UC2Config{Rep: distrep.PearsonRnd, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred2.Predicted) != 300 {
+		t.Errorf("asked for 300 samples, got %d", len(pred2.Predicted))
+	}
+
+	// Wrong feature width must be rejected, not silently mispredicted.
+	if _, err := p.PredictUC2Profile(src, dst, b.Runs[:50], []float64{1}, 300, UC2Config{Seed: 7}); err == nil {
+		t.Error("UC2 profile with 1 source rel time should fail")
+	}
+}
+
+func TestPredictorWarm(t *testing.T) {
+	db := testCampaign(t)
+	p := NewPredictor(db)
+	cfg := predictorConfig()
+	if err := p.Warm([]UC1Config{cfg}, nil); err != nil {
+		t.Fatal(err)
+	}
+	warmMisses := p.CacheStats().Misses
+	if warmMisses == 0 {
+		t.Fatal("warm trained nothing")
+	}
+	// A profile request against the warmed full model is a pure hit.
+	b := &db.Systems[0].Benchmarks[0]
+	pred, err := p.PredictUC1Profile(db.Systems[0].SystemName, b.ProbeRuns[:10], 100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.CacheHit {
+		t.Error("request after Warm should hit the cache")
+	}
+	if p.CacheStats().Misses != warmMisses {
+		t.Error("request after Warm retrained a model")
+	}
+}

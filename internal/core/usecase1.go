@@ -173,7 +173,7 @@ func predictHoldout(dataset *ml.Dataset, rel [][]float64, ids []string,
 		}
 	}
 	if test < 0 {
-		return nil, nil, fmt.Errorf("core: benchmark %q not in dataset", benchmarkID)
+		return nil, nil, fmt.Errorf("core: %w %q (not in dataset)", ErrUnknownBenchmark, benchmarkID)
 	}
 	reg, err := newModel(model, seed, opts)
 	if err != nil {

@@ -29,9 +29,14 @@ type BenchmarkData struct {
 }
 
 // RelTimes returns the measured relative times (run time normalized to
-// the mean), the quantity whose distribution the paper predicts.
+// the mean), the quantity whose distribution the paper predicts. With
+// no recorded runs it returns nil instead of dividing by a zero-length
+// mean (which would yield a NaN-filled sample).
 func (b *BenchmarkData) RelTimes() []float64 {
 	secs := perfsim.Seconds(b.Runs)
+	if len(secs) == 0 {
+		return nil
+	}
 	mean := 0.0
 	for _, s := range secs {
 		mean += s

@@ -197,3 +197,18 @@ func TestExportProfileCSV(t *testing.T) {
 		t.Error("unknown benchmark should fail")
 	}
 }
+
+func TestRelTimesZeroRuns(t *testing.T) {
+	b := &BenchmarkData{}
+	rel := b.RelTimes()
+	if rel != nil {
+		t.Fatalf("RelTimes with no runs = %v, want nil", rel)
+	}
+	// Regression: the old division by len(secs)==0 produced NaNs.
+	b.Runs = []perfsim.Run{{Seconds: 1.0}, {Seconds: 3.0}}
+	for _, v := range b.RelTimes() {
+		if math.IsNaN(v) {
+			t.Fatal("RelTimes produced NaN")
+		}
+	}
+}

@@ -1,0 +1,21 @@
+// Package ml defines the shared machine-learning plumbing for the
+// prediction models the paper compares (Section III-B3): a dataset
+// container, the multi-output Regressor interface, feature scaling, and
+// regression metrics.
+//
+// The concrete models live in the subpackages, each a pure-Go,
+// standard-library-only replacement for the original stack:
+//
+//   - knn: k-nearest-neighbors (scikit-learn KNeighborsRegressor; the
+//     paper's best model at k = 15 with cosine distance)
+//   - tree: CART regression trees, the shared base learner
+//   - forest: random forests (scikit-learn RandomForestRegressor)
+//   - xgb: gradient-boosted trees (the paper's XGBoost)
+//   - linreg: ridge regression, an extension baseline showing the
+//     profile-to-distribution map is nonlinear
+//
+// Every Regressor is multi-output (the targets are whole distribution
+// representations, not scalars), deterministic for a fixed seed, and
+// immutable after Fit — which is what lets core.Predictor share one
+// fitted model across concurrent serving requests.
+package ml

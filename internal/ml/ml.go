@@ -1,8 +1,3 @@
-// Package ml defines the shared machine-learning plumbing for the
-// prediction models the paper compares: a dataset container, the
-// multi-output Regressor interface, feature scaling, and regression
-// metrics. The concrete models live in the subpackages knn, tree,
-// forest, and xgb, replacing scikit-learn and XGBoost.
 package ml
 
 import (

@@ -1,0 +1,17 @@
+// Package report regenerates every results figure of the paper
+// (Figures 1 and 3–9) from a measurement database, and renders each as
+// terminal graphics plus machine-readable rows.
+//
+// One driver function corresponds to one paper figure: the measured
+// distribution gallery (Figures 1 and 3), the representation and model
+// violins for both use cases (Figures 4, 6, 7), the per-benchmark
+// overlays (Figures 5 and 9), and the cross-system direction comparison
+// (Figure 8). Extension drivers cover experiments the paper motivates
+// but does not run: alternative divergences, the Quantile
+// representation, a linear baseline, and ablations over k, distance
+// metric, profile moments, and bin count.
+//
+// Each driver prints the paper's headline numbers next to the measured
+// ones so divergences are explicit; EXPERIMENTS.md records a full run.
+// It is the module behind cmd/experiments and the benchmark harness.
+package report

@@ -1,8 +1,3 @@
-// Package report regenerates every results figure of the paper
-// (Figures 1 and 3–9) from a measurement database, and renders each as
-// terminal graphics plus machine-readable rows. It is the module behind
-// cmd/experiments and the benchmark harness, and it records the paper's
-// headline numbers next to the measured ones for EXPERIMENTS.md.
 package report
 
 import (

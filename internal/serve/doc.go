@@ -1,0 +1,28 @@
+// Package serve turns the paper's predictors into a long-running HTTP
+// service: the deployment story the paper motivates (predict a full
+// run-time distribution from a few probe runs, so operators can make
+// scheduling and acquisition decisions online) as a request/response
+// workload instead of a batch CLI run.
+//
+// The server exposes:
+//
+//	POST /v1/predict/uc1   few-run, same-system prediction (use case 1)
+//	POST /v1/predict/uc2   cross-system prediction (use case 2)
+//	GET  /v1/systems       systems, benchmark IDs, campaign parameters
+//	GET  /healthz          liveness
+//	GET  /readyz           readiness (flips off during graceful drain)
+//	GET  /metrics          expvar-based counters, latency percentiles,
+//	                       and model-cache hit/miss statistics
+//
+// Performance comes from core.Predictor's trained-model cache: the
+// first request for a (system, config, benchmark) key pays for dataset
+// assembly and model fitting; every identical request after it is a
+// cache hit that only runs the O(predict) path. Requests are bounded by
+// a worker semaphore and a per-request timeout, and the server drains
+// gracefully on context cancellation (SIGTERM in cmd/varserve).
+//
+// Loadgen (also wired into cmd/varserve -loadgen) hammers a running
+// server and reports throughput plus cold-versus-warm latency
+// percentiles, making the cache speedup measurable; EXPERIMENTS.md
+// records a reference run.
+package serve

@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distrep"
+	"repro/internal/stats"
+)
+
+// maxBodyBytes bounds request bodies; a raw probe profile of 100 runs
+// with dozens of metrics fits comfortably.
+const maxBodyBytes = 4 << 20
+
+// statusClientClosedRequest is nginx's convention for "the client went
+// away before we could answer".
+const statusClientClosedRequest = 499
+
+func (s *Server) handleUC1(w http.ResponseWriter, r *http.Request) { s.handlePredict(w, r, 1) }
+func (s *Server) handleUC2(w http.ResponseWriter, r *http.Request) { s.handlePredict(w, r, 2) }
+
+// handlePredict is the shared request path of both endpoints: decode,
+// validate, acquire a worker, predict under the request deadline, and
+// render the distribution summary.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, useCase int) {
+	start := time.Now()
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		return
+	}
+	var req PredictRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
+		return
+	}
+	if err := validateRequest(&req, useCase); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	model, err := parseModel(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rep, err := parseRep(req.Representation)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	// Bounded worker pool: wait for a slot, but never past the deadline.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		writeTimeout(w, ctx, "waiting for a worker")
+		return
+	}
+
+	type outcome struct {
+		pred *core.Prediction
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() { <-s.sem }()
+		p, err := s.predict(&req, useCase, model, rep)
+		done <- outcome{p, err}
+	}()
+
+	select {
+	case <-ctx.Done():
+		// The worker goroutine finishes in the background and frees its
+		// slot; we just stop waiting for it.
+		writeTimeout(w, ctx, "prediction")
+		return
+	case out := <-done:
+		if out.err != nil {
+			writePredictError(w, out.err)
+			return
+		}
+		resp := buildResponse(&req, useCase, out.pred)
+		resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// predict dispatches to the cached predictor.
+func (s *Server) predict(req *PredictRequest, useCase int, model core.Model, rep distrep.Kind) (*core.Prediction, error) {
+	switch useCase {
+	case 1:
+		cfg := core.UC1Config{Rep: rep, Model: model, NumSamples: req.Samples, Bins: req.Bins, Seed: req.Seed}
+		if cfg.NumSamples <= 0 {
+			cfg.NumSamples = 10 // the paper's profile budget
+		}
+		if req.Benchmark != "" {
+			return s.pred.PredictUC1(req.System, req.Benchmark, cfg)
+		}
+		return s.pred.PredictUC1Profile(req.System, req.probeRuns(), req.N, cfg)
+	default:
+		cfg := core.UC2Config{Rep: rep, Model: model, Bins: req.Bins, Seed: req.Seed}
+		if req.Benchmark != "" {
+			return s.pred.PredictUC2(req.Source, req.Target, req.Benchmark, cfg)
+		}
+		return s.pred.PredictUC2Profile(req.Source, req.Target, req.probeRuns(), req.SourceRelTimes, req.N, cfg)
+	}
+}
+
+// validateRequest enforces the per-use-case field contract.
+func validateRequest(req *PredictRequest, useCase int) error {
+	hasBench := req.Benchmark != ""
+	hasProbe := len(req.ProbeRuns) > 0
+	if hasBench == hasProbe {
+		return errors.New(`exactly one of "benchmark" or "probe_runs" must be set`)
+	}
+	switch useCase {
+	case 1:
+		if req.System == "" {
+			return errors.New(`"system" is required for use case 1`)
+		}
+	case 2:
+		if req.Source == "" || req.Target == "" {
+			return errors.New(`"source" and "target" are required for use case 2`)
+		}
+		if hasProbe && len(req.SourceRelTimes) < 2 {
+			return errors.New(`"source_rel_times" (>= 2 values) is required with "probe_runs" for use case 2`)
+		}
+	}
+	return nil
+}
+
+// buildResponse summarizes the predicted sample: quantiles, a density
+// histogram, moments, and modality, plus the KS/W1 scores against the
+// measured ground truth when the request named a database benchmark.
+func buildResponse(req *PredictRequest, useCase int, p *core.Prediction) *PredictResponse {
+	pred := p.Predicted
+	model, _ := parseModel(req.Model)
+	rep, _ := parseRep(req.Representation)
+	resp := &PredictResponse{
+		UseCase:        useCase,
+		System:         req.System,
+		Source:         req.Source,
+		Target:         req.Target,
+		Benchmark:      req.Benchmark,
+		Model:          model.String(),
+		Representation: rep.String(),
+		Seed:           req.Seed,
+		N:              len(pred),
+		Quantiles:      quantileMap(pred),
+		Histogram:      histogramJSON(pred, req.Bins),
+		Moments:        momentsJSON(pred),
+		Modes:          countModes(pred),
+		Cache:          "miss",
+	}
+	if p.CacheHit {
+		resp.Cache = "hit"
+	}
+	if p.Actual != nil {
+		ks := stats.KSStatistic(pred, p.Actual)
+		w1 := stats.Wasserstein1(pred, p.Actual)
+		resp.KSVsMeasured = &ks
+		resp.W1VsMeasured = &w1
+		resp.Measured = &MeasuredJSON{
+			N:       len(p.Actual),
+			Moments: momentsJSON(p.Actual),
+			Modes:   countModes(p.Actual),
+		}
+	}
+	return resp
+}
+
+var quantilePoints = []struct {
+	name string
+	q    float64
+}{
+	{"p1", 0.01}, {"p5", 0.05}, {"p25", 0.25}, {"p50", 0.50},
+	{"p75", 0.75}, {"p90", 0.90}, {"p95", 0.95}, {"p99", 0.99},
+}
+
+func quantileMap(xs []float64) map[string]float64 {
+	qs := make([]float64, len(quantilePoints))
+	for i, p := range quantilePoints {
+		qs[i] = p.q
+	}
+	vals := stats.Quantiles(xs, qs)
+	out := make(map[string]float64, len(quantilePoints))
+	for i, p := range quantilePoints {
+		out[p.name] = vals[i]
+	}
+	return out
+}
+
+func histogramJSON(xs []float64, bins int) *HistogramJSON {
+	if bins <= 0 {
+		bins = 50
+	}
+	lo, hi := stats.MinMax(xs)
+	if hi <= lo {
+		hi = lo + 1e-9 // degenerate sample: one zero-width spike
+	}
+	h := stats.HistogramFromSample(xs, lo, hi, bins)
+	density := make([]float64, bins)
+	for i := range density {
+		density[i] = h.Density(i)
+	}
+	return &HistogramJSON{Lo: h.Lo, Hi: h.Hi, BinWidth: h.BinWidth(), Density: density}
+}
+
+func momentsJSON(xs []float64) MomentsJSON {
+	m := stats.ComputeMoments4(xs)
+	return MomentsJSON{Mean: m.Mean, Std: m.Std, Skew: m.Skew, Kurt: m.Kurt}
+}
+
+// countModes counts KDE modes the way the figures do, guarding the
+// zero-variance sample KDE cannot handle.
+func countModes(xs []float64) int {
+	if stats.StdDev(xs) == 0 {
+		return 1
+	}
+	return stats.NewKDE(xs).CountModes(512, 0.1)
+}
+
+// writePredictError maps predictor errors onto HTTP statuses: unknown
+// IDs are 404 (the IDs are resource names), config mistakes are 400.
+func writePredictError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrUnknownSystem), errors.Is(err, core.ErrUnknownBenchmark):
+		writeError(w, http.StatusNotFound, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+// writeTimeout distinguishes a server-side deadline (504) from a client
+// disconnect (499).
+func writeTimeout(w http.ResponseWriter, ctx context.Context, phase string) {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		writeError(w, http.StatusGatewayTimeout, fmt.Sprintf("deadline exceeded while %s", phase))
+		return
+	}
+	writeError(w, statusClientClosedRequest, fmt.Sprintf("client canceled while %s", phase))
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: status})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// handleSystems describes the loaded database: what can be asked for
+// and what the metric schema of a probe profile must look like.
+func (s *Server) handleSystems(w http.ResponseWriter, _ *http.Request) {
+	db := s.pred.DB()
+	resp := SystemsResponse{
+		RunsPerBenchmark:      db.RunsPerBenchmark,
+		ProbeRunsPerBenchmark: db.ProbeRunsPerBenchmark,
+	}
+	for i := range db.Systems {
+		sd := &db.Systems[i]
+		sys := SystemJSON{Name: sd.SystemName, MetricNames: sd.MetricNames}
+		for j := range sd.Benchmarks {
+			sys.Benchmarks = append(sys.Benchmarks, sd.Benchmarks[j].Workload.ID())
+		}
+		resp.Systems = append(resp.Systems, sys)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}

@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadgenOptions parameterizes a load-generation run against a live
+// varserve instance.
+type LoadgenOptions struct {
+	// URL is the server base URL, e.g. "http://127.0.0.1:8080".
+	URL string
+	// UseCase selects the endpoint (1 or 2; default 1).
+	UseCase int
+	// Concurrency is the number of client workers (default 8).
+	Concurrency int
+	// Requests is the total request count (default 200).
+	Requests int
+	// Benchmarks rotates the request targets; fetched from /v1/systems
+	// when empty. Each distinct benchmark is a distinct model-cache key,
+	// so the first request per benchmark measures the cold (train) path
+	// and the rest measure the warm (predict-only) path.
+	Benchmarks []string
+	// System / Source / Target name the systems (defaults: the first
+	// database system for UC1; first → second for UC2).
+	System, Source, Target string
+	// Model and Representation are passed through to the request body.
+	Model, Representation string
+	// Samples is the UC1 profile size (default 10).
+	Samples int
+	// Seed is passed through to the request body (default 1).
+	Seed uint64
+	// Timeout bounds each HTTP request (default 2m, generous because
+	// cold requests include model training).
+	Timeout time.Duration
+}
+
+func (o LoadgenOptions) withDefaults() LoadgenOptions {
+	if o.UseCase == 0 {
+		o.UseCase = 1
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.Requests <= 0 {
+		o.Requests = 200
+	}
+	if o.Samples <= 0 {
+		o.Samples = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Minute
+	}
+	return o
+}
+
+// LoadgenResult is the aggregate outcome of a load run.
+type LoadgenResult struct {
+	Requests int           `json:"requests"`
+	Errors   int           `json:"errors"`
+	Duration time.Duration `json:"duration"`
+	RPS      float64       `json:"rps"`
+	// Cold aggregates cache-miss requests (model trained in-request),
+	// Warm aggregates cache-hit requests (predict-only).
+	Cold LatencySummary `json:"cold"`
+	Warm LatencySummary `json:"warm"`
+}
+
+// Speedup is the cold-mean over warm-p50 latency ratio — the headline
+// number of the trained-model cache.
+func (r *LoadgenResult) Speedup() float64 {
+	if r.Warm.P50MS <= 0 {
+		return 0
+	}
+	return r.Cold.MeanMS / r.Warm.P50MS
+}
+
+// String renders the report the way cmd/varserve prints it.
+func (r *LoadgenResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d requests (%d errors) in %v -> %.1f req/s\n",
+		r.Requests, r.Errors, r.Duration.Round(time.Millisecond), r.RPS)
+	fmt.Fprintf(&b, "  cold (cache miss, trains the model): n=%d mean=%.1fms p50=%.1fms p99=%.1fms max=%.1fms\n",
+		r.Cold.Count, r.Cold.MeanMS, r.Cold.P50MS, r.Cold.P99MS, r.Cold.MaxMS)
+	fmt.Fprintf(&b, "  warm (cache hit, predict only):      n=%d mean=%.3fms p50=%.3fms p99=%.3fms max=%.1fms\n",
+		r.Warm.Count, r.Warm.MeanMS, r.Warm.P50MS, r.Warm.P99MS, r.Warm.MaxMS)
+	if s := r.Speedup(); s > 0 {
+		fmt.Fprintf(&b, "  speedup (cold mean / warm p50): %.0fx", s)
+	}
+	return b.String()
+}
+
+// Loadgen hammers a varserve instance and measures throughput and the
+// cold-versus-warm latency split (each response self-reports whether it
+// hit the trained-model cache).
+func Loadgen(ctx context.Context, opts LoadgenOptions) (*LoadgenResult, error) {
+	opts = opts.withDefaults()
+	client := &http.Client{Timeout: opts.Timeout}
+	if err := loadgenDiscover(ctx, client, &opts); err != nil {
+		return nil, err
+	}
+	endpoint := fmt.Sprintf("%s/v1/predict/uc%d", strings.TrimRight(opts.URL, "/"), opts.UseCase)
+
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		cold    []float64
+		warm    []float64
+		errs    int
+		coldSum float64
+		warmSum float64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= opts.Requests || ctx.Err() != nil {
+					return
+				}
+				bench := opts.Benchmarks[i%len(opts.Benchmarks)]
+				hit, ms, err := loadgenOnce(ctx, client, endpoint, &opts, bench)
+				mu.Lock()
+				switch {
+				case err != nil:
+					errs++
+				case hit:
+					warm = append(warm, ms)
+					warmSum += ms
+				default:
+					cold = append(cold, ms)
+					coldSum += ms
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	dur := time.Since(start)
+	res := &LoadgenResult{
+		Requests: opts.Requests,
+		Errors:   errs,
+		Duration: dur,
+		RPS:      float64(opts.Requests-errs) / dur.Seconds(),
+		Cold:     summarizeMS(int64(len(cold)), coldSum, cold),
+		Warm:     summarizeMS(int64(len(warm)), warmSum, warm),
+	}
+	return res, nil
+}
+
+// loadgenDiscover fills in system and benchmark defaults from the
+// server's /v1/systems description.
+func loadgenDiscover(ctx context.Context, client *http.Client, opts *LoadgenOptions) error {
+	if len(opts.Benchmarks) > 0 && opts.System != "" && (opts.UseCase == 1 || opts.Source != "") {
+		return nil
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(opts.URL, "/")+"/v1/systems", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("loadgen: discover: %w", err)
+	}
+	defer resp.Body.Close()
+	var sys SystemsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sys); err != nil {
+		return fmt.Errorf("loadgen: decode /v1/systems: %w", err)
+	}
+	if len(sys.Systems) == 0 {
+		return fmt.Errorf("loadgen: server has no systems")
+	}
+	if opts.System == "" {
+		opts.System = sys.Systems[0].Name
+	}
+	if opts.Source == "" {
+		opts.Source = sys.Systems[0].Name
+	}
+	if opts.Target == "" {
+		if len(sys.Systems) > 1 {
+			opts.Target = sys.Systems[1].Name
+		} else {
+			opts.Target = sys.Systems[0].Name
+		}
+	}
+	if len(opts.Benchmarks) == 0 {
+		opts.Benchmarks = sys.Systems[0].Benchmarks
+	}
+	if len(opts.Benchmarks) == 0 {
+		return fmt.Errorf("loadgen: no benchmarks to request")
+	}
+	return nil
+}
+
+// loadgenOnce issues one prediction request and reports whether the
+// server answered from the model cache and how long it took.
+func loadgenOnce(ctx context.Context, client *http.Client, endpoint string, opts *LoadgenOptions, bench string) (hit bool, ms float64, err error) {
+	body := PredictRequest{
+		Benchmark:      bench,
+		Model:          opts.Model,
+		Representation: opts.Representation,
+		Samples:        opts.Samples,
+		Seed:           opts.Seed,
+	}
+	if opts.UseCase == 1 {
+		body.System = opts.System
+	} else {
+		body.Source, body.Target = opts.Source, opts.Target
+	}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return false, 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint, bytes.NewReader(buf))
+	if err != nil {
+		return false, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, 0, err
+	}
+	defer resp.Body.Close()
+	elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, elapsed, fmt.Errorf("loadgen: %s: %s", resp.Status, msg)
+	}
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return false, elapsed, err
+	}
+	return pr.Cache == "hit", elapsed, nil
+}

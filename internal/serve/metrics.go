@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// latencyCap bounds the per-endpoint latency reservoir; percentiles are
+// computed over the most recent latencyCap observations.
+const latencyCap = 8192
+
+// Metrics aggregates the server's observability state. The counters are
+// expvar types, but the set is owned by the server instance rather than
+// published to the global expvar registry, so multiple servers (tests,
+// loadgen self-hosting) never collide on variable names; /metrics
+// renders a JSON snapshot of everything.
+type Metrics struct {
+	start    time.Time
+	requests *expvar.Map // by "METHOD /path"
+	statuses *expvar.Map // by status code
+	inFlight expvar.Int
+
+	mu  sync.Mutex
+	lat map[string]*latencyReservoir
+}
+
+type latencyReservoir struct {
+	count   int64
+	sumMS   float64
+	samples []float64 // ring buffer of recent latencies in ms
+	next    int
+}
+
+// NewMetrics returns an empty metrics set.
+func NewMetrics() *Metrics {
+	m := &Metrics{
+		start:    time.Now(),
+		requests: new(expvar.Map).Init(),
+		statuses: new(expvar.Map).Init(),
+		lat:      make(map[string]*latencyReservoir),
+	}
+	return m
+}
+
+// Observe records one completed request.
+func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
+	m.requests.Add(endpoint, 1)
+	m.statuses.Add(http.StatusText(status), 1)
+	ms := float64(d) / float64(time.Millisecond)
+	m.mu.Lock()
+	r := m.lat[endpoint]
+	if r == nil {
+		r = &latencyReservoir{}
+		m.lat[endpoint] = r
+	}
+	r.count++
+	r.sumMS += ms
+	if len(r.samples) < latencyCap {
+		r.samples = append(r.samples, ms)
+	} else {
+		r.samples[r.next] = ms
+		r.next = (r.next + 1) % latencyCap
+	}
+	m.mu.Unlock()
+}
+
+// LatencySummary reports count, mean, and percentiles in milliseconds.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+func summarizeMS(count int64, sum float64, samples []float64) LatencySummary {
+	s := LatencySummary{Count: count}
+	if count == 0 || len(samples) == 0 {
+		return s
+	}
+	s.MeanMS = sum / float64(count)
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	s.P50MS = pick(0.50)
+	s.P90MS = pick(0.90)
+	s.P99MS = pick(0.99)
+	s.MaxMS = sorted[len(sorted)-1]
+	return s
+}
+
+// snapshot renders the metrics as one JSON-encodable value.
+func (m *Metrics) snapshot(pred *core.Predictor, inFlight int64) map[string]any {
+	counts := func(ev *expvar.Map) map[string]int64 {
+		out := map[string]int64{}
+		ev.Do(func(kv expvar.KeyValue) {
+			if v, ok := kv.Value.(*expvar.Int); ok {
+				out[kv.Key] = v.Value()
+			}
+		})
+		return out
+	}
+	lat := map[string]LatencySummary{}
+	m.mu.Lock()
+	for ep, r := range m.lat {
+		lat[ep] = summarizeMS(r.count, r.sumMS, r.samples)
+	}
+	m.mu.Unlock()
+	cs := pred.CacheStats()
+	return map[string]any{
+		"uptime_seconds": time.Since(m.start).Seconds(),
+		"in_flight":      inFlight,
+		"goroutines":     runtime.NumGoroutine(),
+		"requests":       counts(m.requests),
+		"statuses":       counts(m.statuses),
+		"cache": map[string]uint64{
+			"hits":   cs.Hits,
+			"misses": cs.Misses,
+		},
+		"latency": lat,
+	}
+}
+
+// handleMetrics serves the JSON snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.metrics.snapshot(s.pred, s.metrics.inFlight.Value()))
+}

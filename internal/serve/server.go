@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+)
+
+// Config tunes the server. The zero value selects sensible defaults.
+type Config struct {
+	// Addr is the listen address (default ":8080").
+	Addr string
+	// Workers bounds concurrent predictions (default GOMAXPROCS). A
+	// request that cannot acquire a worker before its deadline gets 503.
+	Workers int
+	// RequestTimeout bounds each prediction (default 30s). A request
+	// whose prediction outlives it gets 504.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown (default 10s).
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Server is the varserve HTTP prediction service: routing, the bounded
+// worker pool, metrics, and the cached predictor.
+type Server struct {
+	cfg     Config
+	pred    *core.Predictor
+	metrics *Metrics
+	sem     chan struct{}
+	ready   atomic.Bool
+	mux     *http.ServeMux
+	ln      net.Listener
+}
+
+// New builds a server over a loaded measurement database.
+func New(db *measure.Database, cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		pred:    core.NewPredictor(db),
+		metrics: NewMetrics(),
+	}
+	s.sem = make(chan struct{}, s.cfg.Workers)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/predict/uc1", s.instrument("POST /v1/predict/uc1", s.handleUC1))
+	s.mux.HandleFunc("POST /v1/predict/uc2", s.instrument("POST /v1/predict/uc2", s.handleUC2))
+	s.mux.HandleFunc("GET /v1/systems", s.instrument("GET /v1/systems", s.handleSystems))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.ready.Store(true)
+	return s
+}
+
+// Handler exposes the routing table (used directly by tests).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Predictor exposes the cached predictor (warmup, cache statistics).
+func (s *Server) Predictor() *core.Predictor { return s.pred }
+
+// Metrics exposes the server's metrics set.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Listen binds the configured address. Addr reports the bound address
+// afterwards (useful with ":0").
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Listen).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve runs the HTTP server until ctx is canceled, then drains
+// gracefully: readiness flips to 503 (so load balancers stop routing)
+// and in-flight requests get DrainTimeout to finish.
+func (s *Server) Serve(ctx context.Context) error {
+	if s.ln == nil {
+		if err := s.Listen(); err != nil {
+			return err
+		}
+	}
+	hs := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(s.ln) }()
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	s.ready.Store(false)
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	return nil
+}
+
+// instrument wraps a handler with in-flight, latency, and status
+// accounting.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.inFlight.Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.metrics.inFlight.Add(-1)
+		s.metrics.Observe(endpoint, sw.status, time.Since(start))
+	}
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}

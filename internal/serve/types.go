@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/distrep"
+	"repro/internal/perfsim"
+)
+
+// ProbeRun is one caller-supplied probe execution: wall time plus raw
+// perf-counter totals aligned with the system's metric schema (exactly
+// what `perf stat` emits, see GET /v1/systems for the metric names).
+type ProbeRun struct {
+	Seconds float64   `json:"seconds"`
+	Metrics []float64 `json:"metrics"`
+}
+
+// PredictRequest is the JSON body of both prediction endpoints. Exactly
+// one of Benchmark (predict a database benchmark, holding it out of
+// training, with ground truth attached) or ProbeRuns (predict an unseen
+// application from its raw probe profile) must be set.
+type PredictRequest struct {
+	// System names the UC1 system.
+	System string `json:"system,omitempty"`
+	// Source and Target name the UC2 system pair.
+	Source string `json:"source,omitempty"`
+	Target string `json:"target,omitempty"`
+
+	// Benchmark is a "suite/name" ID from the measurement database.
+	Benchmark string `json:"benchmark,omitempty"`
+	// ProbeRuns is a raw probe profile of an application not in the
+	// database. For UC2 it must be accompanied by SourceRelTimes.
+	ProbeRuns []ProbeRun `json:"probe_runs,omitempty"`
+	// SourceRelTimes is the application's measured relative-time sample
+	// on the source system (UC2 raw-profile requests only).
+	SourceRelTimes []float64 `json:"source_rel_times,omitempty"`
+
+	// Model is knn (default) | rf | xgboost | ridge.
+	Model string `json:"model,omitempty"`
+	// Representation is pearsonrnd (default) | histogram | pymaxent | quantile.
+	Representation string `json:"representation,omitempty"`
+	// Samples is the UC1 profile size (default 10, the paper's setting).
+	Samples int `json:"samples,omitempty"`
+	// Bins is the histogram representation's bin count (0 = default 50).
+	Bins int `json:"bins,omitempty"`
+	// Seed drives decoding and model stochasticity (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// N is the number of samples to decode for raw-profile requests
+	// (default: the database's runs-per-benchmark).
+	N int `json:"n,omitempty"`
+}
+
+// HistogramJSON is a fixed-support histogram of the predicted sample.
+type HistogramJSON struct {
+	Lo       float64   `json:"lo"`
+	Hi       float64   `json:"hi"`
+	BinWidth float64   `json:"bin_width"`
+	Density  []float64 `json:"density"`
+}
+
+// MomentsJSON carries the first four moments of a sample.
+type MomentsJSON struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Skew float64 `json:"skew"`
+	Kurt float64 `json:"kurt"`
+}
+
+// MeasuredJSON summarizes the ground-truth sample when one exists.
+type MeasuredJSON struct {
+	N       int         `json:"n"`
+	Moments MomentsJSON `json:"moments"`
+	Modes   int         `json:"modes"`
+}
+
+// PredictResponse is the JSON body of a successful prediction.
+type PredictResponse struct {
+	UseCase        int    `json:"use_case"`
+	System         string `json:"system,omitempty"`
+	Source         string `json:"source,omitempty"`
+	Target         string `json:"target,omitempty"`
+	Benchmark      string `json:"benchmark,omitempty"`
+	Model          string `json:"model"`
+	Representation string `json:"representation"`
+	Seed           uint64 `json:"seed"`
+	N              int    `json:"n"`
+
+	Quantiles map[string]float64 `json:"quantiles"`
+	Histogram *HistogramJSON     `json:"histogram"`
+	Moments   MomentsJSON        `json:"moments"`
+	Modes     int                `json:"modes"`
+
+	// KSVsMeasured and W1VsMeasured score the prediction against the
+	// measured ground truth; present only for Benchmark requests.
+	KSVsMeasured *float64      `json:"ks_vs_measured,omitempty"`
+	W1VsMeasured *float64      `json:"w1_vs_measured,omitempty"`
+	Measured     *MeasuredJSON `json:"measured,omitempty"`
+
+	// Cache is "hit" when the fitted model was reused, "miss" when this
+	// request trained it.
+	Cache     string  `json:"cache"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  int    `json:"code"`
+}
+
+// SystemsResponse describes the loaded measurement database.
+type SystemsResponse struct {
+	RunsPerBenchmark      int          `json:"runs_per_benchmark"`
+	ProbeRunsPerBenchmark int          `json:"probe_runs_per_benchmark"`
+	Systems               []SystemJSON `json:"systems"`
+}
+
+// SystemJSON describes one system in the database.
+type SystemJSON struct {
+	Name        string   `json:"name"`
+	MetricNames []string `json:"metric_names"`
+	Benchmarks  []string `json:"benchmarks"`
+}
+
+// parseModel resolves the request's model name ("" = the paper's kNN).
+func parseModel(name string) (core.Model, error) {
+	switch strings.ToLower(name) {
+	case "", "knn":
+		return core.KNN, nil
+	case "rf", "randomforest", "forest":
+		return core.RandomForest, nil
+	case "xgboost", "xgb":
+		return core.XGBoost, nil
+	case "ridge", "linear":
+		return core.Ridge, nil
+	default:
+		return 0, fmt.Errorf("unknown model %q (want knn, rf, xgboost, or ridge)", name)
+	}
+}
+
+// parseRep resolves the request's representation name ("" = the
+// paper's best, PearsonRnd).
+func parseRep(name string) (distrep.Kind, error) {
+	switch strings.ToLower(name) {
+	case "", "pearsonrnd", "pearson":
+		return distrep.PearsonRnd, nil
+	case "histogram", "hist":
+		return distrep.Histogram, nil
+	case "pymaxent", "maxent":
+		return distrep.MaxEnt, nil
+	case "quantile":
+		return distrep.Quantile, nil
+	default:
+		return 0, fmt.Errorf("unknown representation %q (want pearsonrnd, histogram, pymaxent, or quantile)", name)
+	}
+}
+
+// probeRuns converts the wire probe profile into simulator runs.
+func (r *PredictRequest) probeRuns() []perfsim.Run {
+	runs := make([]perfsim.Run, len(r.ProbeRuns))
+	for i, pr := range r.ProbeRuns {
+		runs[i] = perfsim.Run{Seconds: pr.Seconds, Metrics: pr.Metrics}
+	}
+	return runs
+}

@@ -1,8 +1,3 @@
-// Package viz renders the paper's figures as terminal graphics: kernel
-// density curves (Figures 1, 3, 5, 9), overlaid predicted-vs-actual
-// densities, violin summaries (Figures 4, 6, 7, 8), and aligned tables.
-// It replaces the matplotlib layer of the original workflow with
-// publication-shaped textual output suitable for logs and CI.
 package viz
 
 import (
