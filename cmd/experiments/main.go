@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -35,8 +36,12 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "seed for campaign and models")
 		fast   = flag.Bool("fast", false, "shrink ensembles and the sample sweep for quick runs")
 		outDir = flag.String("out", "", "also write each figure's text to <out>/<fig>.txt")
+		procs  = flag.Int("procs", 0, "GOMAXPROCS for parallel training/prediction (0 = all cores)")
 	)
 	flag.Parse()
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
 
 	var db *measure.Database
 	var err error

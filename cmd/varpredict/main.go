@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/measure"
@@ -39,8 +40,12 @@ func main() {
 		dst     = flag.String("dst", "intel", "use case 2 target system")
 		runs    = flag.Int("runs", 400, "on-the-fly campaign size when -db is not given")
 		seed    = flag.Uint64("seed", 1, "seed")
+		procs   = flag.Int("procs", 0, "GOMAXPROCS for parallel training/prediction (0 = all cores)")
 	)
 	flag.Parse()
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
 
 	rep, err := report.ParseRep(*repName)
 	if err != nil {

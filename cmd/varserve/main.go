@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -43,6 +44,7 @@ func main() {
 		runs    = flag.Int("runs", 400, "on-the-fly campaign size when -db is not given")
 		seed    = flag.Uint64("seed", 1, "on-the-fly campaign seed")
 		workers = flag.Int("workers", 0, "max concurrent predictions (0 = GOMAXPROCS)")
+		procs   = flag.Int("procs", 0, "GOMAXPROCS for parallel training/prediction (0 = all cores)")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request deadline")
 		warm    = flag.Bool("warm", false, "pre-train the default full models before serving")
 
@@ -55,6 +57,9 @@ func main() {
 		repName  = flag.String("rep", "pearsonrnd", "loadgen representation")
 	)
 	flag.Parse()
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/measure"
 	"repro/internal/ml"
+	"repro/internal/parallel"
 	"repro/internal/perfsim"
 	"repro/internal/randx"
 )
@@ -335,28 +337,90 @@ func (p *Predictor) decodeProfile(data *uc1Data, reg ml.Regressor, input []float
 	return &Prediction{Predicted: predicted, CacheHit: hit}, nil
 }
 
+// PredictUC1ProfileBatch predicts distributions for many caller-supplied
+// probe profiles on the named system in one call. Every profile is
+// scored by the same full deployment model (trained once, cached), and
+// the feature rows fan out across the shared worker pool via
+// ml.PredictBatch. Result i is decoded from a per-index seed stream
+// whose first entry matches PredictUC1Profile exactly, so a batch of
+// one is bit-identical to the single-profile path.
+func (p *Predictor) PredictUC1ProfileBatch(system string, probes [][]perfsim.Run, n int, cfg UC1Config) ([]*Prediction, error) {
+	if len(probes) == 0 {
+		return nil, fmt.Errorf("core: empty profile batch")
+	}
+	sd, err := p.system(system)
+	if err != nil {
+		return nil, err
+	}
+	k := modelKey{data: datasetKey{useCase: 1, system: system, uc1: cfg}}
+	data, reg, _, hit, err := p.model(k)
+	if err != nil {
+		return nil, err
+	}
+	want := len(data.dataset.X[0])
+	rows := make([][]float64, len(probes))
+	for i, probe := range probes {
+		prof, err := buildProfile(probe, sd.MetricNames, cfg.FeatureMeanOnly)
+		if err != nil {
+			return nil, fmt.Errorf("core: profile %d: %w", i, err)
+		}
+		if len(prof.Values) != want {
+			return nil, fmt.Errorf("core: profile %d has %d features, model expects %d", i, len(prof.Values), want)
+		}
+		rows[i] = prof.Values
+	}
+	if n <= 0 {
+		n = p.db.RunsPerBenchmark
+	}
+	if n <= 0 {
+		n = 1000 // the paper's campaign size
+	}
+	vecs := ml.PredictBatch(reg, rows)
+	out := make([]*Prediction, len(probes))
+	for i, vec := range vecs {
+		seed := cfg.Seed + uint64(i)*0x9E3779B97F4A7C15
+		out[i] = &Prediction{
+			Predicted: data.rep.Decode(vec, n, randx.New(seed^0xD1B54A32D192ED03)),
+			CacheHit:  hit,
+		}
+	}
+	return out, nil
+}
+
 // Warm pre-trains the full (no-holdout) models for the given configs on
 // every system, so the first live request is already O(predict). It is
-// the server's readiness hook.
+// the server's readiness hook. The models are independent, so they are
+// trained concurrently on the shared worker pool; the first failure
+// cancels the remaining work.
 func (p *Predictor) Warm(uc1 []UC1Config, uc2 []UC2Config) error {
+	type warmItem struct {
+		key  modelKey
+		desc string
+	}
+	var items []warmItem
 	for _, sd := range p.db.Systems {
 		for _, cfg := range uc1 {
-			k := modelKey{data: datasetKey{useCase: 1, system: sd.SystemName, uc1: cfg}}
-			if _, _, _, _, err := p.model(k); err != nil {
-				return fmt.Errorf("core: warm UC1 %s: %w", sd.SystemName, err)
-			}
+			items = append(items, warmItem{
+				key:  modelKey{data: datasetKey{useCase: 1, system: sd.SystemName, uc1: cfg}},
+				desc: fmt.Sprintf("UC1 %s", sd.SystemName),
+			})
 		}
 		for _, cfg := range uc2 {
 			for _, dst := range p.db.Systems {
 				if dst.SystemName == sd.SystemName {
 					continue
 				}
-				k := modelKey{data: datasetKey{useCase: 2, system: sd.SystemName, target: dst.SystemName, uc2: cfg}}
-				if _, _, _, _, err := p.model(k); err != nil {
-					return fmt.Errorf("core: warm UC2 %s->%s: %w", sd.SystemName, dst.SystemName, err)
-				}
+				items = append(items, warmItem{
+					key:  modelKey{data: datasetKey{useCase: 2, system: sd.SystemName, target: dst.SystemName, uc2: cfg}},
+					desc: fmt.Sprintf("UC2 %s->%s", sd.SystemName, dst.SystemName),
+				})
 			}
 		}
 	}
-	return nil
+	return parallel.ForEach(context.Background(), len(items), 0, func(_ context.Context, i int) error {
+		if _, _, _, _, err := p.model(items[i].key); err != nil {
+			return fmt.Errorf("core: warm %s: %w", items[i].desc, err)
+		}
+		return nil
+	})
 }

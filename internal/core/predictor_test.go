@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/distrep"
+	"repro/internal/perfsim"
 )
 
 func predictorConfig() UC1Config {
@@ -212,5 +213,98 @@ func TestPredictorWarm(t *testing.T) {
 	}
 	if p.CacheStats().Misses != warmMisses {
 		t.Error("request after Warm retrained a model")
+	}
+}
+
+func TestPredictorProfileBatch(t *testing.T) {
+	db := testCampaign(t)
+	p := NewPredictor(db)
+	cfg := predictorConfig()
+	sys := db.Systems[0].SystemName
+	probes := [][]perfsim.Run{
+		db.Systems[0].Benchmarks[0].ProbeRuns[:10],
+		db.Systems[0].Benchmarks[1].ProbeRuns[:10],
+		db.Systems[0].Benchmarks[2].ProbeRuns[:10],
+	}
+
+	batch, err := p.PredictUC1ProfileBatch(sys, probes, 200, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 3 {
+		t.Fatalf("got %d predictions for 3 profiles", len(batch))
+	}
+	for i, pred := range batch {
+		if len(pred.Predicted) != 200 {
+			t.Errorf("profile %d: %d samples, want 200", i, len(pred.Predicted))
+		}
+	}
+
+	// Entry 0 must be bit-identical to the single-profile path (same
+	// model, same decode stream).
+	single, err := p.PredictUC1Profile(sys, probes[0], 200, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range single.Predicted {
+		if batch[0].Predicted[i] != single.Predicted[i] {
+			t.Fatalf("batch[0] diverges from PredictUC1Profile at sample %d", i)
+		}
+	}
+
+	// Repeat batches are deterministic.
+	again, err := p.PredictUC1ProfileBatch(sys, probes, 200, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range batch {
+		for i := range batch[k].Predicted {
+			if batch[k].Predicted[i] != again[k].Predicted[i] {
+				t.Fatalf("repeat batch diverges at profile %d sample %d", k, i)
+			}
+		}
+	}
+
+	// One model fit serves the whole batch: the second batch and the
+	// single-profile call were all hits.
+	if s := p.CacheStats(); s.Misses != 1 {
+		t.Errorf("batch path trained %d models, want 1", s.Misses)
+	}
+
+	if _, err := p.PredictUC1ProfileBatch(sys, nil, 0, cfg); err == nil {
+		t.Error("empty batch should fail")
+	}
+	if _, err := p.PredictUC1ProfileBatch("vax", probes, 0, cfg); !errors.Is(err, ErrUnknownSystem) {
+		t.Errorf("unknown system: got %v, want ErrUnknownSystem", err)
+	}
+}
+
+// TestPredictorWarmParallelDeterministic checks that the parallel warm
+// produces the same fitted models as untrained on-demand requests.
+func TestPredictorWarmParallelDeterministic(t *testing.T) {
+	db := testCampaign(t)
+	cfg := predictorConfig()
+	warmed := NewPredictor(db)
+	if err := warmed.Warm([]UC1Config{cfg}, []UC2Config{{Rep: distrep.PearsonRnd, Seed: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	cold := NewPredictor(db)
+	b := &db.Systems[0].Benchmarks[0]
+	sys := db.Systems[0].SystemName
+	pw, err := warmed.PredictUC1Profile(sys, b.ProbeRuns[:10], 100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := cold.PredictUC1Profile(sys, b.ProbeRuns[:10], 100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pw.CacheHit || pc.CacheHit {
+		t.Errorf("warm hit=%v cold hit=%v, want true/false", pw.CacheHit, pc.CacheHit)
+	}
+	for i := range pw.Predicted {
+		if pw.Predicted[i] != pc.Predicted[i] {
+			t.Fatalf("warmed and cold predictions diverge at sample %d", i)
+		}
 	}
 }

@@ -146,7 +146,7 @@ func evaluateLOGO(dataset *ml.Dataset, rel [][]float64, ids []string,
 			return nil, err
 		}
 		test := split.Test[0]
-		predVec := reg.Predict(dataset.X[test])
+		predVec := ml.PredictBatch(reg, [][]float64{dataset.X[test]})[0]
 		actualRel := rel[test]
 		predRel := rep.Decode(predVec, len(actualRel), rngs[i])
 		scores[i] = score(split.Group, predRel, actualRel)

@@ -6,10 +6,11 @@
 package cv
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
+
+	"repro/internal/parallel"
 )
 
 // Split is one train/test partition of example indices.
@@ -89,34 +90,26 @@ type Result struct {
 	Values []float64
 }
 
-// EvaluateParallel runs eval on every split concurrently (bounded by
-// GOMAXPROCS workers) and returns results in split order. eval receives
-// the split and must return one value per test example (or any summary
-// slice); errors abort the whole evaluation.
+// EvaluateParallel runs eval on every split concurrently on the shared
+// worker pool (at most GOMAXPROCS goroutines exist at any moment, no
+// matter how many splits there are) and returns results in split order.
+// eval receives the split and must return one value per test example
+// (or any summary slice). The first error cancels the evaluation:
+// splits that have not started are never run, and the error is returned
+// once in-flight splits finish.
 func EvaluateParallel(splits []Split, eval func(Split) ([]float64, error)) ([]Result, error) {
 	results := make([]Result, len(splits))
-	errs := make([]error, len(splits))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, s := range splits {
-		wg.Add(1)
-		go func(i int, s Split) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			vals, err := eval(s)
-			if err != nil {
-				errs[i] = fmt.Errorf("cv: split %q: %w", s.Group, err)
-				return
-			}
-			results[i] = Result{Group: s.Group, Values: vals}
-		}(i, s)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := parallel.ForEach(context.Background(), len(splits), 0, func(_ context.Context, i int) error {
+		s := splits[i]
+		vals, err := eval(s)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("cv: split %q: %w", s.Group, err)
 		}
+		results[i] = Result{Group: s.Group, Values: vals}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }

@@ -3,8 +3,11 @@ package cv
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestLeaveOneGroupOut(t *testing.T) {
@@ -133,5 +136,60 @@ func TestGroupNames(t *testing.T) {
 	got := GroupNames([]string{"z", "a", "z", "m"})
 	if fmt.Sprint(got) != "[a m z]" {
 		t.Errorf("GroupNames = %v", got)
+	}
+}
+
+// TestEvaluateParallelBoundsGoroutines is the regression test for the
+// unbounded-spawn bug: the old implementation created one goroutine per
+// split before the semaphore gated execution; the pool must now keep
+// the goroutine count near GOMAXPROCS no matter how many splits exist.
+func TestEvaluateParallelBoundsGoroutines(t *testing.T) {
+	groups := make([]string, 2000)
+	for i := range groups {
+		groups[i] = fmt.Sprintf("g%04d", i)
+	}
+	splits, err := LeaveOneGroupOut(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	var peak atomic.Int64
+	if _, err := EvaluateParallel(splits, func(s Split) ([]float64, error) {
+		if g := int64(runtime.NumGoroutine()); g > peak.Load() {
+			peak.Store(g)
+		}
+		return []float64{1}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > int64(base+runtime.GOMAXPROCS(0)+16) {
+		t.Errorf("peak goroutines %d for 2000 splits (base %d): spawning is not bounded", got, base)
+	}
+}
+
+// TestEvaluateParallelFirstErrorCancelsRemaining checks the other half
+// of the rebuild: a failed split stops the evaluation instead of
+// running every remaining split to completion.
+func TestEvaluateParallelFirstErrorCancelsRemaining(t *testing.T) {
+	groups := make([]string, 500)
+	for i := range groups {
+		groups[i] = fmt.Sprintf("g%04d", i)
+	}
+	splits, _ := LeaveOneGroupOut(groups)
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, err := EvaluateParallel(splits, func(s Split) ([]float64, error) {
+		n := ran.Add(1)
+		if n == 1 {
+			return nil, boom
+		}
+		time.Sleep(100 * time.Microsecond)
+		return []float64{1}, nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if got := ran.Load(); got > 100 {
+		t.Errorf("%d of 500 splits ran after the first error, want prompt cancellation", got)
 	}
 }

@@ -1,0 +1,38 @@
+package ml
+
+import (
+	"context"
+
+	"repro/internal/parallel"
+)
+
+// BatchPredictor is an optional Regressor extension for models that can
+// predict many rows more efficiently than a row-at-a-time loop.
+type BatchPredictor interface {
+	// PredictBatch returns one prediction row per input row.
+	PredictBatch(X [][]float64) [][]float64
+}
+
+// PredictBatch predicts every row of X with r, fanning the rows out
+// across the shared worker pool (bounded by GOMAXPROCS). Models that
+// implement BatchPredictor are used directly; for everything else the
+// row-level Predict is invoked concurrently, which is safe because
+// fitted Regressors are immutable and Predict is read-only.
+//
+// Row order is preserved and results are identical to a sequential
+// Predict loop.
+func PredictBatch(r Regressor, X [][]float64) [][]float64 {
+	if bp, ok := r.(BatchPredictor); ok {
+		return bp.PredictBatch(X)
+	}
+	if len(X) == 1 {
+		return [][]float64{r.Predict(X[0])}
+	}
+	out := make([][]float64, len(X))
+	// Predict never fails, so fn returns nil and the pool cannot abort.
+	_ = parallel.ForEach(context.Background(), len(X), 0, func(_ context.Context, i int) error {
+		out[i] = r.Predict(X[i])
+		return nil
+	})
+	return out
+}

@@ -1,0 +1,64 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+// affine is a minimal deterministic Regressor for exercising the
+// generic fan-out path.
+type affine struct{}
+
+func (affine) Fit(*Dataset) error { return nil }
+func (affine) Name() string       { return "affine" }
+func (affine) Predict(x []float64) []float64 {
+	return []float64{2*x[0] + 1, math.Sin(x[0])}
+}
+
+// batchMarker implements BatchPredictor; PredictBatch must dispatch to
+// it instead of the row-level fan-out.
+type batchMarker struct{ affine }
+
+func (batchMarker) PredictBatch(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i := range out {
+		out[i] = []float64{-1} // recognizable marker
+	}
+	return out
+}
+
+func TestPredictBatchMatchesSequentialLoop(t *testing.T) {
+	X := make([][]float64, 237) // deliberately not a multiple of the pool size
+	for i := range X {
+		X[i] = []float64{float64(i) * 0.1}
+	}
+	got := PredictBatch(affine{}, X)
+	if len(got) != len(X) {
+		t.Fatalf("got %d rows, want %d", len(got), len(X))
+	}
+	for i, x := range X {
+		want := affine{}.Predict(x)
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Fatalf("row %d output %d: %v != sequential %v", i, j, got[i][j], want[j])
+			}
+		}
+	}
+}
+
+func TestPredictBatchSingleRowAndEmpty(t *testing.T) {
+	got := PredictBatch(affine{}, [][]float64{{3}})
+	if len(got) != 1 || got[0][0] != 7 {
+		t.Fatalf("single-row batch = %v, want [[7 ...]]", got)
+	}
+	if got := PredictBatch(affine{}, nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d rows", len(got))
+	}
+}
+
+func TestPredictBatchPrefersBatchPredictor(t *testing.T) {
+	got := PredictBatch(batchMarker{}, [][]float64{{1}, {2}})
+	if len(got) != 2 || got[0][0] != -1 || got[1][0] != -1 {
+		t.Fatalf("BatchPredictor not used: %v", got)
+	}
+}

@@ -6,11 +6,13 @@
 package forest
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/ml"
 	"repro/internal/ml/tree"
+	"repro/internal/parallel"
 	"repro/internal/randx"
 )
 
@@ -52,8 +54,13 @@ func New(cfg Config) *Regressor { return &Regressor{cfg: cfg.withDefaults()} }
 // Name implements ml.Regressor.
 func (f *Regressor) Name() string { return fmt.Sprintf("RandomForest(n=%d)", f.cfg.NumTrees) }
 
-// Fit trains the ensemble.
+// Fit trains the ensemble, growing trees concurrently on the shared
+// worker pool (bounded by GOMAXPROCS). The per-tree random streams are
+// split from the seed before dispatch, so the fitted forest is
+// bit-identical to a sequential fit regardless of worker count. On
+// error the regressor is reset to its unfitted state.
 func (f *Regressor) Fit(d *ml.Dataset) error {
+	f.trees, f.nOut = nil, 0
 	if err := d.Validate(); err != nil {
 		return fmt.Errorf("forest: %w", err)
 	}
@@ -66,10 +73,12 @@ func (f *Regressor) Fit(d *ml.Dataset) error {
 	}
 	rng := randx.New(f.cfg.Seed ^ 0xF0123456789ABCDE)
 	n := d.NumExamples()
-	f.nOut = d.NumOutputs()
-	f.trees = make([]*tree.Tree, f.cfg.NumTrees)
-	for t := range f.trees {
-		treeRNG := rng.Split()
+	// Tree t's bootstrap and feature subsampling depend only on stream t,
+	// never on what the other workers consume.
+	treeRNGs := rng.SplitN(f.cfg.NumTrees)
+	trees := make([]*tree.Tree, f.cfg.NumTrees)
+	err := parallel.ForEach(context.Background(), f.cfg.NumTrees, 0, func(_ context.Context, t int) error {
+		treeRNG := treeRNGs[t]
 		boot := treeRNG.SampleWithReplacement(n, n)
 		tr := tree.New(tree.Config{
 			MaxDepth:       f.cfg.MaxDepth,
@@ -80,8 +89,14 @@ func (f *Regressor) Fit(d *ml.Dataset) error {
 		if err := tr.FitIndices(d, boot); err != nil {
 			return fmt.Errorf("forest: tree %d: %w", t, err)
 		}
-		f.trees[t] = tr
+		trees[t] = tr
+		return nil
+	})
+	if err != nil {
+		return err
 	}
+	f.trees = trees
+	f.nOut = d.NumOutputs()
 	return nil
 }
 
@@ -93,9 +108,8 @@ func (f *Regressor) FeatureImportance() []float64 {
 	if len(f.trees) == 0 {
 		panic("forest: FeatureImportance before Fit")
 	}
-	acc := f.trees[0].FeatureImportance()
-	out := make([]float64, len(acc))
-	for _, tr := range f.trees {
+	out := f.trees[0].FeatureImportance() // a fresh copy; accumulate in place
+	for _, tr := range f.trees[1:] {
 		for i, v := range tr.FeatureImportance() {
 			out[i] += v
 		}

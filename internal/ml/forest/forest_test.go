@@ -1,7 +1,9 @@
 package forest
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/ml"
@@ -187,4 +189,86 @@ func TestForestFeatureImportanceBeforeFitPanics(t *testing.T) {
 		}
 	}()
 	New(Config{}).FeatureImportance()
+}
+
+// TestForestParallelFitBitIdentical is the tentpole determinism
+// guarantee: the fitted forest must be bit-identical no matter how many
+// workers grow trees, across several seeds.
+func TestForestParallelFitBitIdentical(t *testing.T) {
+	train := synth(11, 400)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, seed := range []uint64{1, 7, 99} {
+		runtime.GOMAXPROCS(1)
+		seq := New(Config{NumTrees: 24, Seed: seed})
+		if err := seq.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		want := make([][]float64, 30)
+		for i, x := range train.X[:30] {
+			want[i] = seq.Predict(x)
+		}
+		wantImp := seq.FeatureImportance()
+		for _, procs := range []int{2, 4, 8} {
+			runtime.GOMAXPROCS(procs)
+			par := New(Config{NumTrees: 24, Seed: seed})
+			if err := par.Fit(train); err != nil {
+				t.Fatal(err)
+			}
+			for i, x := range train.X[:30] {
+				got := par.Predict(x)
+				for j := range got {
+					if got[j] != want[i][j] {
+						t.Fatalf("seed %d procs %d: prediction[%d][%d] = %v, sequential = %v",
+							seed, procs, i, j, got[j], want[i][j])
+					}
+				}
+			}
+			for i, v := range par.FeatureImportance() {
+				if v != wantImp[i] {
+					t.Fatalf("seed %d procs %d: importance[%d] = %v, sequential = %v", seed, procs, i, v, wantImp[i])
+				}
+			}
+		}
+	}
+}
+
+// TestForestFitErrorResets is the regression test for the half-fitted
+// regressor bug: a failed re-fit must not leave the previous model (or
+// a partial one) behind for Predict to use.
+func TestForestFitErrorResets(t *testing.T) {
+	good := synth(12, 100)
+	f := New(Config{NumTrees: 5, Seed: 1})
+	if err := f.Fit(good); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Predict(good.X[0]) // fitted and usable
+	bad := &ml.Dataset{X: [][]float64{{1}, {2}}, Y: [][]float64{{math.NaN()}, {0}}}
+	if err := f.Fit(bad); err == nil {
+		t.Fatal("NaN target should fail Fit")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Predict after a failed Fit should panic, not serve the stale model")
+		}
+	}()
+	f.Predict(good.X[0])
+}
+
+// BenchmarkFit measures cold ensemble training at several worker
+// counts; see EXPERIMENTS.md for recorded numbers. On a single-core
+// runner the procs>1 rows only show the coordination overhead.
+func BenchmarkFit(b *testing.B) {
+	ds := synth(1, 2000)
+	for _, procs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			for i := 0; i < b.N; i++ {
+				f := New(Config{NumTrees: 60, Seed: 3})
+				if err := f.Fit(ds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -1,0 +1,62 @@
+package knn
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/randx"
+)
+
+// benchFixture builds an n-point training set and a query, shaped like
+// the paper's profiles (a few dozen features, k = 15).
+func benchFixture(n int) (*Regressor, []float64) {
+	rng := randx.New(5)
+	nf := 36
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		X[i] = make([]float64, nf)
+		for j := range X[i] {
+			X[i][j] = rng.StdNormal()
+		}
+		Y[i] = []float64{rng.StdNormal(), rng.StdNormal(), rng.StdNormal()}
+	}
+	r := New(15)
+	if err := r.Fit(&ml.Dataset{X: X, Y: Y}); err != nil {
+		panic(err)
+	}
+	q := make([]float64, nf)
+	for j := range q {
+		q[j] = rng.StdNormal()
+	}
+	return r, q
+}
+
+// BenchmarkPredictTopK measures the heap-based O(n log k) selection;
+// BenchmarkPredictFullSort measures the previous O(n log n) full sort
+// (fullSortPredict in knn_test.go) on the same fixture, demonstrating
+// the win of the top-k path.
+func BenchmarkPredictTopK(b *testing.B) {
+	for _, n := range []int{1000, 10000, 50000} {
+		r, q := benchFixture(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = r.Predict(q)
+			}
+		})
+	}
+}
+
+func BenchmarkPredictFullSort(b *testing.B) {
+	for _, n := range []int{1000, 10000, 50000} {
+		r, q := benchFixture(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = fullSortPredict(r, q)
+			}
+		})
+	}
+}

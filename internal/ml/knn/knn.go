@@ -134,8 +134,29 @@ func (r *Regressor) distance(a, b []float64) float64 {
 	}
 }
 
+// neighbor is one candidate training point during top-k selection.
+type neighbor struct {
+	dist float64
+	idx  int
+}
+
+// worse reports whether a ranks after b in nearest-neighbor order:
+// larger distance, with ties broken toward the larger index (the same
+// deterministic tie-break the full sort used).
+func worse(a, b neighbor) bool {
+	if a.dist != b.dist {
+		return a.dist > b.dist
+	}
+	return a.idx > b.idx
+}
+
 // Predict returns the (weighted) mean target of the k nearest training
 // examples. If fewer than k examples exist, all are used.
+//
+// Selection is O(n log k) via a bounded max-heap rather than an
+// O(n log n) sort of every training point; the selected set, its
+// ordering, and therefore the prediction are bit-identical to the
+// full-sort implementation.
 func (r *Regressor) Predict(x []float64) []float64 {
 	if r.x == nil {
 		panic("knn: Predict before Fit")
@@ -144,27 +165,29 @@ func (r *Regressor) Predict(x []float64) []float64 {
 	if r.Standardize {
 		q = r.scaler.Transform(x)
 	}
-	type neighbor struct {
-		dist float64
-		idx  int
-	}
-	ns := make([]neighbor, len(r.x))
-	for i, row := range r.x {
-		ns[i] = neighbor{dist: r.distance(q, row), idx: i}
-	}
-	sort.Slice(ns, func(i, j int) bool {
-		if ns[i].dist != ns[j].dist {
-			return ns[i].dist < ns[j].dist
-		}
-		return ns[i].idx < ns[j].idx // deterministic tie-break
-	})
 	k := r.K
-	if k > len(ns) {
-		k = len(ns)
+	if k > len(r.x) {
+		k = len(r.x)
 	}
+	// Bounded max-heap of the k best candidates seen so far; the root is
+	// the worst kept neighbor and is evicted by any better candidate.
+	heap := make([]neighbor, 0, k)
+	for i, row := range r.x {
+		cand := neighbor{dist: r.distance(q, row), idx: i}
+		if len(heap) < k {
+			heap = append(heap, cand)
+			siftUp(heap, len(heap)-1)
+		} else if worse(heap[0], cand) {
+			heap[0] = cand
+			siftDown(heap, 0)
+		}
+	}
+	// Accumulate nearest-first so the floating-point summation order (and
+	// thus the result, to the last bit) matches the previous full sort.
+	sort.Slice(heap, func(i, j int) bool { return worse(heap[j], heap[i]) })
 	out := make([]float64, len(r.y[0]))
 	var wsum float64
-	for _, n := range ns[:k] {
+	for _, n := range heap {
 		w := 1.0
 		if r.Weighting == Distance {
 			w = 1 / (n.dist + 1e-12)
@@ -178,4 +201,35 @@ func (r *Regressor) Predict(x []float64) []float64 {
 		out[j] /= wsum
 	}
 	return out
+}
+
+// siftUp restores the max-heap property after appending at index i.
+func siftUp(h []neighbor, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !worse(h[i], h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+// siftDown restores the max-heap property after replacing the root.
+func siftDown(h []neighbor, i int) {
+	for {
+		l, rt := 2*i+1, 2*i+2
+		w := i
+		if l < len(h) && worse(h[l], h[w]) {
+			w = l
+		}
+		if rt < len(h) && worse(h[rt], h[w]) {
+			w = rt
+		}
+		if w == i {
+			return
+		}
+		h[i], h[w] = h[w], h[i]
+		i = w
+	}
 }

@@ -2,6 +2,7 @@ package knn
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"repro/internal/ml"
@@ -244,5 +245,90 @@ func TestKNNFitCopiesData(t *testing.T) {
 	y[0][0] = 999
 	if got := r.Predict([]float64{1}); got[0] != 10 {
 		t.Errorf("model corrupted by caller mutation: %v", got[0])
+	}
+}
+
+// fullSortPredict is the pre-top-k reference implementation: sort every
+// training point, take the first k. The heap-based Predict must agree
+// with it to the last bit.
+func fullSortPredict(r *Regressor, x []float64) []float64 {
+	q := x
+	if r.Standardize {
+		q = r.scaler.Transform(x)
+	}
+	ns := make([]neighbor, len(r.x))
+	for i, row := range r.x {
+		ns[i] = neighbor{dist: r.distance(q, row), idx: i}
+	}
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].dist != ns[j].dist {
+			return ns[i].dist < ns[j].dist
+		}
+		return ns[i].idx < ns[j].idx
+	})
+	k := r.K
+	if k > len(ns) {
+		k = len(ns)
+	}
+	out := make([]float64, len(r.y[0]))
+	var wsum float64
+	for _, n := range ns[:k] {
+		w := 1.0
+		if r.Weighting == Distance {
+			w = 1 / (n.dist + 1e-12)
+		}
+		wsum += w
+		for j, v := range r.y[n.idx] {
+			out[j] += w * v
+		}
+	}
+	for j := range out {
+		out[j] /= wsum
+	}
+	return out
+}
+
+// TestKNNTopKMatchesFullSort checks the top-k selection against the
+// full-sort reference across metrics, weightings, and k values, on data
+// with deliberately duplicated rows so the deterministic index
+// tie-break is exercised.
+func TestKNNTopKMatchesFullSort(t *testing.T) {
+	rng := randx.New(31)
+	n := 500
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Uniform(-2, 2), rng.Uniform(-2, 2), rng.Uniform(-2, 2)}
+		if i%7 == 0 && i > 0 {
+			X[i] = append([]float64(nil), X[i-1]...) // exact duplicate: tied distance
+		}
+		Y[i] = []float64{rng.StdNormal(), rng.StdNormal()}
+	}
+	d := &ml.Dataset{X: X, Y: Y}
+	for _, metric := range []Metric{Cosine, Euclidean, Manhattan} {
+		for _, weighting := range []Weighting{Uniform, Distance} {
+			for _, k := range []int{1, 2, 15, 100, 499, 500, 600} {
+				r := New(k)
+				r.Metric = metric
+				r.Weighting = weighting
+				if err := r.Fit(d); err != nil {
+					t.Fatal(err)
+				}
+				for probe := 0; probe < 25; probe++ {
+					x := []float64{rng.Uniform(-2, 2), rng.Uniform(-2, 2), rng.Uniform(-2, 2)}
+					if probe%5 == 0 {
+						x = append([]float64(nil), X[probe]...) // exact hit: zero distance
+					}
+					got := r.Predict(x)
+					want := fullSortPredict(r, x)
+					for j := range want {
+						if got[j] != want[j] {
+							t.Fatalf("%s/%d k=%d: Predict[%d] = %v, full-sort reference = %v",
+								metric, weighting, k, j, got[j], want[j])
+						}
+					}
+				}
+			}
+		}
 	}
 }

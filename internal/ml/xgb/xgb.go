@@ -14,10 +14,12 @@
 package xgb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/ml"
+	"repro/internal/parallel"
 	"repro/internal/randx"
 )
 
@@ -29,7 +31,9 @@ type Config struct {
 	LearningRate float64
 	// MaxDepth per tree (default 3).
 	MaxDepth int
-	// Lambda is the L2 regularization on leaf weights (default 1).
+	// Lambda is the L2 regularization on leaf weights. Zero selects the
+	// default of 1; any negative value explicitly disables regularization
+	// (λ = 0), mirroring the forest-style MaxFeatures sentinel.
 	Lambda float64
 	// Gamma is the minimum split gain (default 0).
 	Gamma float64
@@ -55,11 +59,10 @@ func (c Config) withDefaults() Config {
 	if c.MaxDepth <= 0 {
 		c.MaxDepth = 3
 	}
-	if c.Lambda < 0 {
-		c.Lambda = 1
-	}
 	if c.Lambda == 0 {
 		c.Lambda = 1
+	} else if c.Lambda < 0 {
+		c.Lambda = 0 // explicit "no regularization" sentinel
 	}
 	if c.MinChildWeight <= 0 {
 		c.MinChildWeight = 1
@@ -98,17 +101,25 @@ func (x *Regressor) Name() string {
 	return fmt.Sprintf("XGBoost(rounds=%d,depth=%d,eta=%g)", x.cfg.NumRounds, x.cfg.MaxDepth, x.cfg.LearningRate)
 }
 
-// Fit trains one boosted ensemble per output dimension.
+// Fit trains one boosted ensemble per output dimension. The outputs are
+// independent given their pre-split random streams, so they are boosted
+// concurrently on the shared worker pool (bounded by GOMAXPROCS); the
+// fitted model is bit-identical to a sequential fit regardless of
+// worker count. On error the regressor is reset to its unfitted state.
 func (x *Regressor) Fit(d *ml.Dataset) error {
+	x.baseScore, x.ensembles = nil, nil
 	if err := d.Validate(); err != nil {
 		return fmt.Errorf("xgb: %w", err)
 	}
 	n := d.NumExamples()
 	nOut := d.NumOutputs()
 	rng := randx.New(x.cfg.Seed ^ 0xABCDEF0123456789)
-	x.baseScore = make([]float64, nOut)
-	x.ensembles = make([][]*bnode, nOut)
-	for out := 0; out < nOut; out++ {
+	// Output out's row/column subsampling depends only on stream out,
+	// never on what the other workers consume.
+	outRNGs := rng.SplitN(nOut)
+	baseScore := make([]float64, nOut)
+	ensembles := make([][]*bnode, nOut)
+	err := parallel.ForEach(context.Background(), nOut, 0, func(_ context.Context, out int) error {
 		y := make([]float64, n)
 		for i := range y {
 			y[i] = d.Y[i][out]
@@ -118,7 +129,7 @@ func (x *Regressor) Fit(d *ml.Dataset) error {
 			base += v
 		}
 		base /= float64(n)
-		x.baseScore[out] = base
+		baseScore[out] = base
 
 		pred := make([]float64, n)
 		for i := range pred {
@@ -126,7 +137,7 @@ func (x *Regressor) Fit(d *ml.Dataset) error {
 		}
 		grad := make([]float64, n)
 		hess := make([]float64, n)
-		outRNG := rng.Split()
+		outRNG := outRNGs[out]
 		trees := make([]*bnode, 0, x.cfg.NumRounds)
 		for round := 0; round < x.cfg.NumRounds; round++ {
 			for i := range grad {
@@ -141,8 +152,14 @@ func (x *Regressor) Fit(d *ml.Dataset) error {
 				pred[i] += x.cfg.LearningRate * evalTree(root, d.X[i])
 			}
 		}
-		x.ensembles[out] = trees
+		ensembles[out] = trees
+		return nil
+	})
+	if err != nil {
+		return err
 	}
+	x.baseScore = baseScore
+	x.ensembles = ensembles
 	return nil
 }
 

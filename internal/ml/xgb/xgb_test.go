@@ -1,7 +1,9 @@
 package xgb
 
 import (
+	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/ml"
@@ -173,5 +175,120 @@ func TestXGBMultiOutputIndependence(t *testing.T) {
 	}
 	if got := m.Predict([]float64{0.5}); math.Abs(got[0]-1.5) > 0.2 {
 		t.Errorf("output 0 prediction = %v, want ~1.5", got[0])
+	}
+}
+
+// TestXGBParallelFitBitIdentical is the tentpole determinism guarantee
+// for boosting: per-output ensembles fitted concurrently must match a
+// single-worker fit to the last bit, across seeds and worker counts.
+func TestXGBParallelFitBitIdentical(t *testing.T) {
+	train := synth(10, 350)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, seed := range []uint64{1, 13, 777} {
+		runtime.GOMAXPROCS(1)
+		seq := New(Config{NumRounds: 25, Subsample: 0.8, ColSample: 0.5, Seed: seed})
+		if err := seq.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		want := make([][]float64, 30)
+		for i, x := range train.X[:30] {
+			want[i] = seq.Predict(x)
+		}
+		for _, procs := range []int{2, 4, 8} {
+			runtime.GOMAXPROCS(procs)
+			par := New(Config{NumRounds: 25, Subsample: 0.8, ColSample: 0.5, Seed: seed})
+			if err := par.Fit(train); err != nil {
+				t.Fatal(err)
+			}
+			for i, x := range train.X[:30] {
+				got := par.Predict(x)
+				for j := range got {
+					if got[j] != want[i][j] {
+						t.Fatalf("seed %d procs %d: prediction[%d][%d] = %v, sequential = %v",
+							seed, procs, i, j, got[j], want[i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestXGBLambdaSentinel is the regression test for the withDefaults bug
+// that made an unregularized booster impossible: 0 selects the default
+// of 1, while a negative value explicitly disables regularization.
+func TestXGBLambdaSentinel(t *testing.T) {
+	if got := New(Config{}).cfg.Lambda; got != 1 {
+		t.Errorf("Lambda default = %v, want 1", got)
+	}
+	if got := New(Config{Lambda: 2.5}).cfg.Lambda; got != 2.5 {
+		t.Errorf("explicit Lambda = %v, want 2.5", got)
+	}
+	if got := New(Config{Lambda: -1}).cfg.Lambda; got != 0 {
+		t.Errorf("negative Lambda sentinel = %v, want 0 (unregularized)", got)
+	}
+
+	// The unregularized booster must actually behave differently: with
+	// λ = 0 a single-sample leaf fits its residual exactly, so one deep
+	// tree at learning rate 1 drives the training error to ~0; λ = 1
+	// shrinks every leaf and cannot.
+	d := &ml.Dataset{
+		X: [][]float64{{0}, {1}, {2}, {3}},
+		Y: [][]float64{{0}, {10}, {-3}, {7}},
+	}
+	unreg := New(Config{NumRounds: 1, MaxDepth: 10, LearningRate: 1, Lambda: -1})
+	reg := New(Config{NumRounds: 1, MaxDepth: 10, LearningRate: 1, Lambda: 1})
+	if err := unreg.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range d.X {
+		if got := unreg.Predict(x)[0]; math.Abs(got-d.Y[i][0]) > 1e-9 {
+			t.Errorf("unregularized booster: Predict(%v) = %v, want exact %v", x, got, d.Y[i][0])
+		}
+		if got := reg.Predict(x)[0]; math.Abs(got-d.Y[i][0]) < 1e-9 && d.Y[i][0] != 0 {
+			t.Errorf("regularized booster unexpectedly exact at %v", x)
+		}
+	}
+}
+
+// TestXGBFitErrorResets mirrors the forest regression: a failed re-fit
+// must leave the regressor unfitted rather than serving the stale model.
+func TestXGBFitErrorResets(t *testing.T) {
+	good := synth(11, 100)
+	m := New(Config{NumRounds: 5, Seed: 1})
+	if err := m.Fit(good); err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Predict(good.X[0])
+	bad := &ml.Dataset{X: [][]float64{{1}, {2}}, Y: [][]float64{{math.Inf(1)}, {0}}}
+	if err := m.Fit(bad); err == nil {
+		t.Fatal("Inf target should fail Fit")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Predict after a failed Fit should panic, not serve the stale model")
+		}
+	}()
+	m.Predict(good.X[0])
+}
+
+// BenchmarkFit measures cold boosting at several worker counts (the
+// parallel unit is one output ensemble, so multi-output datasets are
+// required to see any gain); see EXPERIMENTS.md for recorded numbers.
+func BenchmarkFit(b *testing.B) {
+	ds := synth(1, 1500)
+	for _, procs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			for i := 0; i < b.N; i++ {
+				m := New(Config{NumRounds: 40, MaxDepth: 4, Seed: 5})
+				if err := m.Fit(ds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,103 @@
+// Package parallel provides the shared bounded worker pool used by the
+// training and prediction paths: a deterministic work-distribution
+// primitive that fans a fixed index range out across at most GOMAXPROCS
+// goroutines, stops dispatching on the first error, and honors context
+// cancellation.
+//
+// The pool carries no randomness of its own. Callers that need
+// per-item random streams (the tree ensembles) must pre-split them from
+// the parent RNG *before* dispatch — see randx.RNG.SplitN — so that the
+// work executed for item i is byte-for-byte identical no matter how many
+// workers run or in which order items complete.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count request: values <= 0 select
+// GOMAXPROCS, and the result never exceeds n (no idle goroutines).
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines (workers <= 0 selects GOMAXPROCS). Items are dispatched in
+// index order. The first error cancels the pool's context and stops new
+// items from starting; ForEach then waits for in-flight items and
+// returns that first-observed error. If the parent context is canceled
+// before all items run, ForEach returns ctx.Err().
+//
+// fn must be safe for concurrent invocation across distinct indices.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers = Workers(workers, n); workers == 1 {
+		// Sequential fast path: no goroutines, identical semantics.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	abort := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					abort(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,167 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 100
+			counts := make([]atomic.Int32, n)
+			err := ForEach(context.Background(), n, workers, func(_ context.Context, i int) error {
+				counts[i].Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("index %d ran %d times", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	called := false
+	if err := ForEach(context.Background(), 0, 4, func(context.Context, int) error {
+		called = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("fn called for n=0")
+	}
+}
+
+func TestForEachFirstErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := ForEach(context.Background(), 1000, 2, func(_ context.Context, i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		time.Sleep(10 * time.Microsecond) // give cancellation time to land
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The pool must stop dispatching promptly: far fewer than all 1000
+	// items may run after the failure (workers in flight can finish).
+	if got := ran.Load(); got > 100 {
+		t.Errorf("%d items ran after early error, want prompt abort", got)
+	}
+}
+
+func TestForEachSequentialFirstErrorStopsImmediately(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int
+	err := ForEach(context.Background(), 10, 1, func(_ context.Context, i int) error {
+		ran++
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran != 3 {
+		t.Errorf("ran %d items, want exactly 3 (indices 0..2)", ran)
+	}
+}
+
+func TestForEachParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var started atomic.Int32
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEach(ctx, 1000, 2, func(ctx context.Context, i int) error {
+			started.Add(1)
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return nil
+		})
+	}()
+	for started.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got >= 1000 {
+		t.Errorf("all %d items started despite cancellation", got)
+	}
+}
+
+func TestForEachAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForEach(ctx, 10, 4, func(context.Context, int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d items ran under a pre-canceled context", ran.Load())
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	var mu sync.Mutex
+	err := ForEach(context.Background(), 200, workers, func(context.Context, int) error {
+		cur := inFlight.Add(1)
+		mu.Lock()
+		if cur > peak.Load() {
+			peak.Store(cur)
+		}
+		mu.Unlock()
+		time.Sleep(100 * time.Microsecond)
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", got, workers)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0, 1000); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0, 1000) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Errorf("Workers(8, 3) = %d, want 3 (capped at n)", got)
+	}
+	if got := Workers(-1, 0); got != 1 {
+		t.Errorf("Workers(-1, 0) = %d, want 1 (floor)", got)
+	}
+	if got := Workers(5, 100); got != 5 {
+		t.Errorf("Workers(5, 100) = %d, want 5", got)
+	}
+}

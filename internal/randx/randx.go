@@ -51,6 +51,19 @@ func (r *RNG) Split() *RNG {
 	return NewPair(mix(r.seed1+r.children*0x9E3779B97F4A7C15), mix(r.seed2-r.children*0xC2B2AE3D27D4EB4F))
 }
 
+// SplitN derives n independent child RNGs, equivalent to calling Split
+// n times. It is the pre-dispatch idiom for parallel work: splitting
+// every per-item stream up front (in item order) makes a parallel
+// computation bit-identical to its sequential counterpart regardless of
+// worker count or completion order.
+func (r *RNG) SplitN(n int) []*RNG {
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
+
 // Float64 returns a uniform value in [0, 1).
 func (r *RNG) Float64() float64 { return r.src.Float64() }
 

@@ -313,3 +313,28 @@ func TestSamplerPanicsOnInvalidParams(t *testing.T) {
 		}()
 	}
 }
+
+// TestSplitNMatchesSuccessiveSplits pins the pre-dispatch idiom: SplitN
+// must yield exactly the streams that n successive Split calls would,
+// so parallel decompositions stay bit-identical to sequential ones.
+func TestSplitNMatchesSuccessiveSplits(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	split := make([]*RNG, 4)
+	for i := range split {
+		split[i] = a.Split()
+	}
+	splitN := b.SplitN(4)
+	for i := range split {
+		for j := 0; j < 32; j++ {
+			x, y := split[i].Float64(), splitN[i].Float64()
+			if x != y {
+				t.Fatalf("stream %d draw %d: Split %v != SplitN %v", i, j, x, y)
+			}
+		}
+	}
+	// Further splits of the parents stay aligned too.
+	if a.Split().Float64() != b.Split().Float64() {
+		t.Fatal("parents diverged after SplitN")
+	}
+}

@@ -11,12 +11,17 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/distrep"
+	"repro/internal/perfsim"
 	"repro/internal/stats"
 )
 
 // maxBodyBytes bounds request bodies; a raw probe profile of 100 runs
 // with dozens of metrics fits comfortably.
 const maxBodyBytes = 4 << 20
+
+// maxBatchProfiles bounds one batch request so a single client cannot
+// monopolize the worker pool with an arbitrarily large fan-out.
+const maxBatchProfiles = 256
 
 // statusClientClosedRequest is nginx's convention for "the client went
 // away before we could answer".
@@ -92,6 +97,111 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, useCase i
 			return
 		}
 		resp := buildResponse(&req, useCase, out.pred)
+		resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// handleUC1Batch predicts many raw probe profiles in one request: all
+// profiles share one cached deployment model, and the per-profile
+// predictions fan out across the shared worker pool (core's
+// PredictBatch path). The whole batch occupies a single worker slot and
+// runs under the normal request deadline.
+func (s *Server) handleUC1Batch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		return
+	}
+	var req BatchPredictRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
+		return
+	}
+	if req.System == "" {
+		writeError(w, http.StatusBadRequest, `"system" is required`)
+		return
+	}
+	if len(req.Profiles) == 0 {
+		writeError(w, http.StatusBadRequest, `"profiles" must contain at least one probe profile`)
+		return
+	}
+	if len(req.Profiles) > maxBatchProfiles {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d profiles exceeds the limit of %d", len(req.Profiles), maxBatchProfiles))
+		return
+	}
+	model, err := parseModel(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rep, err := parseRep(req.Representation)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	cfg := core.UC1Config{Rep: rep, Model: model, NumSamples: req.Samples, Bins: req.Bins, Seed: req.Seed}
+	if cfg.NumSamples <= 0 {
+		cfg.NumSamples = 10 // the paper's profile budget
+	}
+	probes := make([][]perfsim.Run, len(req.Profiles))
+	for i, prs := range req.Profiles {
+		probes[i] = toRuns(prs)
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		writeTimeout(w, ctx, "waiting for a worker")
+		return
+	}
+
+	type outcome struct {
+		preds []*core.Prediction
+		err   error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() { <-s.sem }()
+		preds, err := s.pred.PredictUC1ProfileBatch(req.System, probes, req.N, cfg)
+		done <- outcome{preds, err}
+	}()
+
+	select {
+	case <-ctx.Done():
+		writeTimeout(w, ctx, "batch prediction")
+	case out := <-done:
+		if out.err != nil {
+			writePredictError(w, out.err)
+			return
+		}
+		resp := &BatchPredictResponse{
+			UseCase:        1,
+			System:         req.System,
+			Model:          model.String(),
+			Representation: rep.String(),
+			Seed:           req.Seed,
+			Count:          len(out.preds),
+			Cache:          "miss",
+		}
+		if out.preds[0].CacheHit {
+			resp.Cache = "hit"
+		}
+		for _, p := range out.preds {
+			resp.Results = append(resp.Results, BatchResultJSON{
+				N:         len(p.Predicted),
+				Quantiles: quantileMap(p.Predicted),
+				Histogram: histogramJSON(p.Predicted, req.Bins),
+				Moments:   momentsJSON(p.Predicted),
+				Modes:     countModes(p.Predicted),
+			})
+		}
 		resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 		writeJSON(w, http.StatusOK, resp)
 	}

@@ -404,3 +404,87 @@ func TestLoadgenEndToEnd(t *testing.T) {
 		t.Error("server did not drain within 15s")
 	}
 }
+
+func TestBatchPredictUC1(t *testing.T) {
+	s := newTestServer(t)
+	profiles := make([][]ProbeRun, 3)
+	for k := range profiles {
+		b := &testDB.Systems[0].Benchmarks[k]
+		profiles[k] = make([]ProbeRun, 10)
+		for i, r := range b.ProbeRuns[:10] {
+			profiles[k][i] = ProbeRun{Seconds: r.Seconds, Metrics: r.Metrics}
+		}
+	}
+	reqBody, _ := json.Marshal(BatchPredictRequest{System: "intel", Profiles: profiles, N: 150, Seed: 7})
+	rec, resp := post(t, s, "/v1/predict/uc1/batch", string(reqBody))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, resp)
+	}
+	if resp["count"].(float64) != 3 {
+		t.Errorf("count = %v, want 3", resp["count"])
+	}
+	results := resp["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("%d results, want 3", len(results))
+	}
+	for i, r := range results {
+		res := r.(map[string]any)
+		if res["n"].(float64) != 150 {
+			t.Errorf("result %d: n = %v, want 150", i, res["n"])
+		}
+		if len(res["quantiles"].(map[string]any)) == 0 {
+			t.Errorf("result %d: no quantiles", i)
+		}
+	}
+
+	// The three profiles share one model fit; repeating the batch is a
+	// deterministic cache hit.
+	rec2, resp2 := post(t, s, "/v1/predict/uc1/batch", string(reqBody))
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("repeat status %d: %v", rec2.Code, resp2)
+	}
+	if resp2["cache"] != "hit" {
+		t.Errorf("repeat batch cache = %v, want hit", resp2["cache"])
+	}
+	got, _ := json.Marshal(resp["results"])
+	got2, _ := json.Marshal(resp2["results"])
+	if string(got) != string(got2) {
+		t.Error("repeat batch results differ")
+	}
+
+	// Batch result 0 matches the single-profile endpoint bit-for-bit.
+	singleBody, _ := json.Marshal(PredictRequest{System: "intel", ProbeRuns: profiles[0], N: 150, Seed: 7})
+	recS, respS := post(t, s, "/v1/predict/uc1", string(singleBody))
+	if recS.Code != http.StatusOK {
+		t.Fatalf("single status %d: %v", recS.Code, respS)
+	}
+	bq, _ := json.Marshal(results[0].(map[string]any)["quantiles"])
+	sq, _ := json.Marshal(respS["quantiles"])
+	if string(bq) != string(sq) {
+		t.Errorf("batch[0] quantiles %s != single-profile %s", bq, sq)
+	}
+}
+
+func TestBatchPredictValidation(t *testing.T) {
+	s := newTestServer(t)
+	oneRun := `[{"seconds":1,"metrics":[1,2]}]`
+	over := `{"system":"intel","profiles":[` + oneRun
+	for i := 1; i < 257; i++ {
+		over += "," + oneRun
+	}
+	over += `]}`
+	for _, tc := range []struct {
+		body string
+		code int
+	}{
+		{`{"profiles":[` + oneRun + `]}`, http.StatusBadRequest},              // no system
+		{`{"system":"intel","profiles":[]}`, http.StatusBadRequest},           // empty batch
+		{over, http.StatusBadRequest},                                         // over cap
+		{`{"system":"vax","profiles":[` + oneRun + `]}`, http.StatusNotFound}, // unknown system
+	} {
+		rec, resp := post(t, s, "/v1/predict/uc1/batch", tc.body)
+		if rec.Code != tc.code {
+			t.Errorf("body %.60s...: status %d, want %d (%v)", tc.body, rec.Code, tc.code, resp)
+		}
+	}
+}

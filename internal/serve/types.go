@@ -52,6 +52,55 @@ type PredictRequest struct {
 	N int `json:"n,omitempty"`
 }
 
+// BatchPredictRequest is the JSON body of POST /v1/predict/uc1/batch:
+// one shared model/representation configuration applied to many raw
+// probe profiles at once. All profiles are scored by the same cached
+// deployment model, and the predictions fan out across the server's
+// worker pool.
+type BatchPredictRequest struct {
+	// System names the UC1 system.
+	System string `json:"system"`
+	// Profiles holds one raw probe profile per application to predict.
+	Profiles [][]ProbeRun `json:"profiles"`
+
+	// Model is knn (default) | rf | xgboost | ridge.
+	Model string `json:"model,omitempty"`
+	// Representation is pearsonrnd (default) | histogram | pymaxent | quantile.
+	Representation string `json:"representation,omitempty"`
+	// Samples is the UC1 profile size (default 10, the paper's setting).
+	Samples int `json:"samples,omitempty"`
+	// Bins is the histogram representation's bin count (0 = default 50).
+	Bins int `json:"bins,omitempty"`
+	// Seed drives decoding and model stochasticity (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// N is the number of samples to decode per profile (default: the
+	// database's runs-per-benchmark).
+	N int `json:"n,omitempty"`
+}
+
+// BatchResultJSON summarizes one profile's predicted distribution.
+type BatchResultJSON struct {
+	N         int                `json:"n"`
+	Quantiles map[string]float64 `json:"quantiles"`
+	Histogram *HistogramJSON     `json:"histogram"`
+	Moments   MomentsJSON        `json:"moments"`
+	Modes     int                `json:"modes"`
+}
+
+// BatchPredictResponse is the JSON body of a successful batch
+// prediction; Results is aligned with the request's Profiles.
+type BatchPredictResponse struct {
+	UseCase        int               `json:"use_case"`
+	System         string            `json:"system"`
+	Model          string            `json:"model"`
+	Representation string            `json:"representation"`
+	Seed           uint64            `json:"seed"`
+	Count          int               `json:"count"`
+	Results        []BatchResultJSON `json:"results"`
+	Cache          string            `json:"cache"`
+	ElapsedMS      float64           `json:"elapsed_ms"`
+}
+
 // HistogramJSON is a fixed-support histogram of the predicted sample.
 type HistogramJSON struct {
 	Lo       float64   `json:"lo"`
@@ -158,9 +207,12 @@ func parseRep(name string) (distrep.Kind, error) {
 }
 
 // probeRuns converts the wire probe profile into simulator runs.
-func (r *PredictRequest) probeRuns() []perfsim.Run {
-	runs := make([]perfsim.Run, len(r.ProbeRuns))
-	for i, pr := range r.ProbeRuns {
+func (r *PredictRequest) probeRuns() []perfsim.Run { return toRuns(r.ProbeRuns) }
+
+// toRuns converts one wire probe profile into simulator runs.
+func toRuns(prs []ProbeRun) []perfsim.Run {
+	runs := make([]perfsim.Run, len(prs))
+	for i, pr := range prs {
 		runs[i] = perfsim.Run{Seconds: pr.Seconds, Metrics: pr.Metrics}
 	}
 	return runs
