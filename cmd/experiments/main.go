@@ -1,6 +1,9 @@
 // Command experiments regenerates the paper's results figures
 // (Figures 1 and 3–9) from a measurement campaign and prints each as a
 // terminal figure plus its data series and a paper-vs-measured summary.
+// With -ext it also runs the extension experiments, including the ext6
+// fault-tolerance sweep (UC1 accuracy vs injected fault rate under
+// ingest quarantine, with and without counter repair).
 //
 // Usage:
 //
@@ -29,8 +32,8 @@ func main() {
 	log.SetPrefix("experiments: ")
 	var (
 		dbPath = flag.String("db", "", "measurement database from varcollect (collected on the fly when empty)")
-		figSel = flag.String("fig", "all", "comma-separated figure numbers (e.g. \"1,4,6\") or \"all\"")
-		ext    = flag.Bool("ext", false, "also run the extension experiments (ext1-ext5)")
+		figSel = flag.String("fig", "all", "comma-separated figure numbers or extension ids (e.g. \"1,4,ext6\") or \"all\"")
+		ext    = flag.Bool("ext", false, "also run the extension experiments (ext1-ext6)")
 		runs   = flag.Int("runs", 1000, "campaign runs per benchmark when collecting on the fly")
 		probes = flag.Int("probes", 120, "campaign probe runs per benchmark")
 		seed   = flag.Uint64("seed", 1, "seed for campaign and models")
@@ -72,10 +75,22 @@ func main() {
 		opts.SweepSamples = []int{1, 3, 10, 50}
 	}
 
+	ids := report.FigureIDs()
+	figs := report.Figures()
+	for k, v := range report.Extensions() {
+		figs[k] = v
+	}
+	ids = append(ids, report.ExtensionIDs()...)
+
 	wanted := map[string]bool{}
 	if *figSel == "all" {
 		for _, id := range report.FigureIDs() {
 			wanted[id] = true
+		}
+		if *ext {
+			for _, id := range report.ExtensionIDs() {
+				wanted[id] = true
+			}
 		}
 	} else {
 		for _, tok := range strings.Split(*figSel, ",") {
@@ -83,25 +98,14 @@ func main() {
 			if tok == "" {
 				continue
 			}
-			id := "fig" + strings.TrimPrefix(tok, "fig")
-			if _, ok := report.Figures()[id]; !ok {
-				log.Fatalf("unknown figure %q (have 1, 3, 4, 5, 6, 7, 8, 9)", tok)
+			id := tok
+			if !strings.HasPrefix(tok, "ext") {
+				id = "fig" + strings.TrimPrefix(tok, "fig")
+			}
+			if _, ok := figs[id]; !ok {
+				log.Fatalf("unknown figure %q (have 1, 3, 4, 5, 6, 7, 8, 9, ext1-ext6)", tok)
 			}
 			wanted[id] = true
-		}
-	}
-
-	ids := report.FigureIDs()
-	figs := report.Figures()
-	if *ext {
-		for k, v := range report.Extensions() {
-			figs[k] = v
-		}
-		ids = append(ids, report.ExtensionIDs()...)
-		for _, id := range report.ExtensionIDs() {
-			if *figSel == "all" {
-				wanted[id] = true
-			}
 		}
 	}
 	for _, id := range ids {

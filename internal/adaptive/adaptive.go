@@ -13,6 +13,7 @@ package adaptive
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/randx"
 	"repro/internal/stats"
@@ -74,6 +75,10 @@ func (c Config) withDefaults() Config {
 type Result struct {
 	// Runs is the number of measurements consumed.
 	Runs int
+	// Skipped counts invalid measurements (NaN, Inf, or non-positive
+	// durations) discarded by ingest validation; they never enter the
+	// sample or the convergence test.
+	Skipped int
 	// Converged is false when MaxRuns was hit before the criteria held.
 	Converged bool
 	// MeanCI and QuantileCI are the final intervals.
@@ -83,17 +88,49 @@ type Result struct {
 	Sample []float64
 }
 
+// maxConsecutiveInvalid bounds how many invalid measurements in a row
+// the collector tolerates before declaring the source unusable, so a
+// source that only ever emits garbage cannot spin the rule forever.
+const maxConsecutiveInvalid = 100
+
+// collect appends valid measurements until the sample reaches want,
+// discarding invalid ones (counted in res.Skipped).
+func collect(measure func() float64, res *Result, want int) error {
+	invalid := 0
+	for len(res.Sample) < want {
+		v := measure()
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			res.Skipped++
+			invalid++
+			if invalid >= maxConsecutiveInvalid {
+				return fmt.Errorf("adaptive: %d consecutive invalid measurements (NaN/Inf/non-positive); source unusable with %d valid runs", invalid, len(res.Sample))
+			}
+			continue
+		}
+		invalid = 0
+		res.Sample = append(res.Sample, v)
+	}
+	return nil
+}
+
 // Run executes the stopping rule against a measurement source: measure
 // is called for each additional run and returns one duration. rng drives
 // the bootstrap.
+//
+// Invalid measurements (NaN, Inf, non-positive) are quarantined rather
+// than mixed into the sample, and a degenerate sample — fewer than two
+// valid runs, or zero variance (e.g. every survivor was imputed to the
+// same value) — never converges: the rule requests more runs instead of
+// trusting a zero-width confidence interval.
 func Run(measure func() float64, cfg Config, rng *randx.RNG) (*Result, error) {
 	if measure == nil {
 		return nil, fmt.Errorf("adaptive: nil measurement source")
 	}
 	c := cfg.withDefaults()
 	res := &Result{}
-	for len(res.Sample) < c.MinRuns {
-		res.Sample = append(res.Sample, measure())
+	if err := collect(measure, res, c.MinRuns); err != nil {
+		res.Runs = len(res.Sample)
+		return res, err
 	}
 	for {
 		res.Runs = len(res.Sample)
@@ -107,15 +144,21 @@ func Run(measure func() float64, cfg Config, rng *randx.RNG) (*Result, error) {
 			res.QuantileCILo, res.QuantileCIHi = qlo, qhi
 			quantOK = stats.HalfWidthRel(qlo, qhi) <= c.QuantileRelTol
 		}
-		if meanOK && quantOK {
+		degenerate := len(res.Sample) < 2 || stats.StdDev(res.Sample) == 0
+		if meanOK && quantOK && !degenerate {
 			res.Converged = true
 			return res, nil
 		}
 		if len(res.Sample) >= c.MaxRuns {
 			return res, nil
 		}
-		for b := 0; b < c.Batch && len(res.Sample) < c.MaxRuns; b++ {
-			res.Sample = append(res.Sample, measure())
+		want := len(res.Sample) + c.Batch
+		if want > c.MaxRuns {
+			want = c.MaxRuns
+		}
+		if err := collect(measure, res, want); err != nil {
+			res.Runs = len(res.Sample)
+			return res, err
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package adaptive
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/perfsim"
@@ -124,5 +125,67 @@ func TestConfigDefaults(t *testing.T) {
 	if c.Confidence != 0.95 || c.RelTol != 0.01 || c.MinRuns != 10 ||
 		c.MaxRuns != 1000 || c.Batch != 5 || c.Resamples != 200 {
 		t.Errorf("defaults = %+v", c)
+	}
+}
+
+func TestInvalidMeasurementsAreQuarantined(t *testing.T) {
+	rng := randx.New(21)
+	src := randx.New(22)
+	n := 0
+	// Every third measurement is garbage: NaN, Inf, or non-positive.
+	res, err := Run(func() float64 {
+		n++
+		switch n % 6 {
+		case 0:
+			return math.NaN()
+		case 3:
+			return -1
+		}
+		return src.Normal(10, 0.01)
+	}, Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("valid subsample should converge")
+	}
+	if res.Skipped == 0 {
+		t.Error("invalid measurements must be counted in Skipped")
+	}
+	for _, v := range res.Sample {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			t.Fatalf("invalid measurement %v leaked into the sample", v)
+		}
+	}
+}
+
+func TestZeroVarianceNeverConverges(t *testing.T) {
+	rng := randx.New(23)
+	// A constant source (e.g. every survivor imputed to the same value)
+	// yields zero-width CIs; trusting them would stop at MinRuns.
+	res, err := Run(func() float64 { return 7 }, Config{MaxRuns: 40}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("zero-variance sample must not satisfy the stopping rule")
+	}
+	if res.Runs != 40 {
+		t.Errorf("Runs = %d, want MaxRuns=40 exhausted", res.Runs)
+	}
+}
+
+func TestAllInvalidSourceErrors(t *testing.T) {
+	rng := randx.New(24)
+	calls := 0
+	res, err := Run(func() float64 { calls++; return math.NaN() }, Config{}, rng)
+	if err == nil {
+		t.Fatal("a source that only emits garbage must error, not spin")
+	}
+	if calls != maxConsecutiveInvalid {
+		t.Errorf("gave up after %d calls, want %d", calls, maxConsecutiveInvalid)
+	}
+	if res == nil || res.Skipped != maxConsecutiveInvalid || res.Runs != 0 {
+		t.Errorf("result = %+v, want all measurements skipped", res)
 	}
 }

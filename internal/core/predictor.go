@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/features"
 	"repro/internal/measure"
@@ -22,6 +24,14 @@ var (
 	ErrUnknownSystem = errors.New("unknown system")
 	// ErrUnknownBenchmark reports a benchmark ID absent from a system.
 	ErrUnknownBenchmark = errors.New("unknown benchmark")
+	// ErrBenchmarkQuarantined reports a benchmark (or whole dataset)
+	// whose measurements failed ingest validation and were quarantined:
+	// the data exists but is too dirty to train or predict on.
+	ErrBenchmarkQuarantined = errors.New("benchmark quarantined")
+	// ErrFitFailed matches (via errors.Is) errors from a failed model
+	// fit — the class that trips the breaker, as opposed to
+	// configuration errors.
+	ErrFitFailed = errors.New("model fit failed")
 )
 
 // Predictor serves use-case-1/2 predictions from a measurement database
@@ -39,22 +49,82 @@ var (
 // Fit, and decoding draws from a fresh seed-derived RNG per request, so
 // identical requests return identical predictions whether they hit or
 // miss the cache.
+//
+// Fit failures degrade rather than fail: each (system, config) pair is
+// guarded by a circuit breaker, and while fits are failing or the
+// breaker is open, requests fall back first to the stale pre-Refresh
+// model (if one exists) and then to a kNN model fitted on the same
+// data — both flagged Degraded in the Prediction. Configuration errors
+// (unknown system/benchmark, quarantined data) never trip the breaker
+// and never fall back; they propagate to the caller unchanged.
 type Predictor struct {
 	db *measure.Database
 
-	datasets sync.Map // datasetKey -> *dataCell
-	models   sync.Map // modelKey -> *modelCell
+	datasets  sync.Map // datasetKey -> *dataCell
+	models    sync.Map // modelKey -> *modelCell
+	stale     sync.Map // modelKey -> *fittedModel (pre-Refresh models)
+	fallbacks sync.Map // modelKey -> *modelCell (kNN fallback models)
+	breakers  sync.Map // datasetKey -> *breaker
 
-	hits, misses atomic.Uint64
+	breakerCfg BreakerConfig
+	now        func() time.Time
+
+	hookMu  sync.RWMutex
+	fitHook FitHook
+
+	hits, misses           atomic.Uint64
+	staleServed, knnServed atomic.Uint64
 }
 
 // NewPredictor wraps a loaded measurement database in an empty cache.
 func NewPredictor(db *measure.Database) *Predictor {
-	return &Predictor{db: db}
+	return &Predictor{db: db, now: time.Now}
 }
 
 // DB exposes the underlying database (read-only by convention).
 func (p *Predictor) DB() *measure.Database { return p.db }
+
+// SetBreakerConfig overrides the fit-breaker tuning. Call before
+// serving; breakers already created keep their old configuration.
+func (p *Predictor) SetBreakerConfig(cfg BreakerConfig) { p.breakerCfg = cfg }
+
+// SetClock overrides the breaker time source (tests only). Call before
+// serving.
+func (p *Predictor) SetClock(now func() time.Time) { p.now = now }
+
+// FitInfo describes a model fit about to be attempted, passed to the
+// fit hook.
+type FitInfo struct {
+	// UseCase is 1 or 2.
+	UseCase int
+	// System is the UC1 system or UC2 source; Target the UC2 target.
+	System, Target string
+	// Holdout is the held-out benchmark ("" for full deployment models).
+	Holdout string
+	// Model is the family being fitted.
+	Model Model
+	// Fallback marks the degraded-path kNN fit.
+	Fallback bool
+}
+
+// FitHook intercepts model fits. Returning an error aborts the fit and
+// counts as a fit failure (tripping the breaker) — the fault-injection
+// lever behind the degraded-serving tests and drills.
+type FitHook func(FitInfo) error
+
+// SetFitHook installs (or, with nil, removes) the fit interception
+// hook.
+func (p *Predictor) SetFitHook(h FitHook) {
+	p.hookMu.Lock()
+	p.fitHook = h
+	p.hookMu.Unlock()
+}
+
+func (p *Predictor) hook() FitHook {
+	p.hookMu.RLock()
+	defer p.hookMu.RUnlock()
+	return p.fitHook
+}
 
 // CacheStats reports how many prediction requests were served from an
 // already-fitted model (hits) versus had to train one (misses).
@@ -67,6 +137,89 @@ func (p *Predictor) CacheStats() CacheStats {
 	return CacheStats{Hits: p.hits.Load(), Misses: p.misses.Load()}
 }
 
+// DegradedStats counts predictions served by fallbacks and breakers
+// currently open — the server's degraded-mode gauge.
+type DegradedStats struct {
+	// StaleServed counts predictions served from a pre-Refresh model.
+	StaleServed uint64
+	// KNNServed counts predictions served by the kNN fallback.
+	KNNServed uint64
+	// BreakersOpen is the number of breakers open right now.
+	BreakersOpen int
+}
+
+// Degraded returns a snapshot of the degraded-serving counters.
+func (p *Predictor) Degraded() DegradedStats {
+	s := DegradedStats{StaleServed: p.staleServed.Load(), KNNServed: p.knnServed.Load()}
+	now := p.now()
+	p.breakers.Range(func(_, v any) bool {
+		if v.(*breaker).state(now).Open {
+			s.BreakersOpen++
+		}
+		return true
+	})
+	return s
+}
+
+// Breakers snapshots every breaker's state, sorted by key.
+func (p *Predictor) Breakers() []BreakerState {
+	now := p.now()
+	var out []BreakerState
+	p.breakers.Range(func(_, v any) bool {
+		out = append(out, v.(*breaker).state(now))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// QuarantineReports summarizes the ingest-validation quarantine of
+// every system touched by an assembled dataset, keyed by system name.
+// When multiple configurations saw the same system (e.g. with and
+// without Repair), the first built wins.
+func (p *Predictor) QuarantineReports() map[string]measure.SystemQuarantine {
+	out := map[string]measure.SystemQuarantine{}
+	p.datasets.Range(func(_, value any) bool {
+		c := value.(*dataCell)
+		if !c.done.Load() || c.err != nil || c.data == nil {
+			return true
+		}
+		for sys, reports := range c.data.quarantine {
+			if _, seen := out[sys]; !seen {
+				out[sys] = measure.Summarize(sys, reports)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// Refresh drops every fitted model and assembled dataset so the next
+// request re-validates the data and refits, keeping the dropped models
+// as stale fallbacks: while a refit is failing or its breaker is open,
+// requests are answered by the pre-Refresh model flagged Degraded
+// instead of erroring.
+func (p *Predictor) Refresh() {
+	p.models.Range(func(key, value any) bool {
+		c := value.(*modelCell)
+		c.mu.Lock()
+		if c.fitted != nil {
+			p.stale.Store(key, c.fitted)
+		}
+		c.mu.Unlock()
+		p.models.Delete(key)
+		return true
+	})
+	p.datasets.Range(func(key, _ any) bool {
+		p.datasets.Delete(key)
+		return true
+	})
+	p.fallbacks.Range(func(key, _ any) bool {
+		p.fallbacks.Delete(key)
+		return true
+	})
+}
+
 // Prediction is the outcome of one online prediction request.
 type Prediction struct {
 	// Predicted is the predicted relative-time sample.
@@ -76,6 +229,12 @@ type Prediction struct {
 	Actual []float64
 	// CacheHit reports whether the fitted model was reused.
 	CacheHit bool
+	// Degraded reports the prediction came from a fallback model
+	// because the primary fit failed or its breaker is open.
+	Degraded bool
+	// Fallback names the degraded path ("stale" or "knn"; "" when the
+	// primary model served).
+	Fallback string
 }
 
 // datasetKey identifies one assembled learning problem.
@@ -85,6 +244,22 @@ type datasetKey struct {
 	target  string // UC2 target system ("" for UC1)
 	uc1     UC1Config
 	uc2     UC2Config
+}
+
+// label renders the key for breaker states and error messages.
+func (k datasetKey) label() string {
+	if k.useCase == 1 {
+		return fmt.Sprintf("%s %s", k.system, k.uc1)
+	}
+	return fmt.Sprintf("%s->%s %s", k.system, k.target, k.uc2)
+}
+
+// params extracts the model family, options, and seed from the config.
+func (k datasetKey) params() (Model, ModelOptions, uint64) {
+	if k.useCase == 1 {
+		return k.uc1.Model, k.uc1.Models, k.uc1.Seed
+	}
+	return k.uc2.Model, k.uc2.Models, k.uc2.Seed
 }
 
 // modelKey identifies one fitted model: a dataset plus the benchmark
@@ -97,23 +272,54 @@ type modelKey struct {
 
 type dataCell struct {
 	once sync.Once
+	done atomic.Bool
 	data *uc1Data
 	err  error
 }
 
-type modelCell struct {
-	once sync.Once
+// fittedModel is one trained regressor bound to the dataset it was
+// trained on (so stale models survive a dataset Refresh intact).
+type fittedModel struct {
+	data *uc1Data
 	reg  ml.Regressor
 	test int // row index of the held-out benchmark, -1 for full models
-	err  error
 }
+
+// modelCell holds one fit slot. Unlike a sync.Once cell, a failed fit
+// leaves the cell empty so a later request can retry (gated by the
+// breaker); concurrent requests for the same key still serialize on the
+// mutex, so at most one fit per key runs at a time.
+type modelCell struct {
+	mu     sync.Mutex
+	fitted *fittedModel
+}
+
+// servedModel is a fitted model plus how it was obtained.
+type servedModel struct {
+	*fittedModel
+	hit      bool
+	degraded bool
+	fallback string
+}
+
+// fitError marks errors from the mechanics of fitting a model —
+// distinct from configuration errors (unknown keys, quarantined data),
+// which never trip the breaker and never fall back.
+type fitError struct{ err error }
+
+func (e *fitError) Error() string        { return "core: model fit failed: " + e.err.Error() }
+func (e *fitError) Unwrap() error        { return e.err }
+func (e *fitError) Is(target error) bool { return target == ErrFitFailed }
 
 // dataset returns the cached learning problem for key, building it on
 // first use.
 func (p *Predictor) dataset(k datasetKey) (*uc1Data, error) {
 	v, _ := p.datasets.LoadOrStore(k, &dataCell{})
 	c := v.(*dataCell)
-	c.once.Do(func() { c.data, c.err = p.buildDataset(k) })
+	c.once.Do(func() {
+		c.data, c.err = p.buildDataset(k)
+		c.done.Store(true)
+	})
 	return c.data, c.err
 }
 
@@ -148,63 +354,153 @@ func (p *Predictor) system(name string) (*measure.SystemData, error) {
 	return sd, nil
 }
 
-// model returns the cached fitted regressor for key, training it on
-// first use, and reports whether the call was served from the cache.
-func (p *Predictor) model(k modelKey) (*uc1Data, ml.Regressor, int, bool, error) {
-	data, err := p.dataset(k.data)
-	if err != nil {
-		return nil, nil, 0, false, err
+// breaker returns the fit breaker guarding the dataset key.
+func (p *Predictor) breaker(k datasetKey) *breaker {
+	if v, ok := p.breakers.Load(k); ok {
+		return v.(*breaker)
 	}
-	v, _ := p.models.LoadOrStore(k, &modelCell{})
-	c := v.(*modelCell)
-	built := false
-	c.once.Do(func() {
-		built = true
-		c.reg, c.test, c.err = fitModel(data, k)
-	})
-	if c.err != nil {
-		return nil, nil, 0, false, c.err
-	}
-	hit := !built
-	if hit {
-		p.hits.Add(1)
-	} else {
-		p.misses.Add(1)
-	}
-	return data, c.reg, c.test, hit, nil
+	v, _ := p.breakers.LoadOrStore(k, newBreaker(k.label(), p.breakerCfg))
+	return v.(*breaker)
 }
 
-// fitModel trains one regressor on the dataset, excluding the holdout
-// benchmark when set.
-func fitModel(data *uc1Data, k modelKey) (ml.Regressor, int, error) {
-	var model Model
-	var opts ModelOptions
-	var seed uint64
-	if k.data.useCase == 1 {
-		model, opts, seed = k.data.uc1.Model, k.data.uc1.Models, k.data.uc1.Seed
-	} else {
-		model, opts, seed = k.data.uc2.Model, k.data.uc2.Models, k.data.uc2.Seed
-	}
-	test := -1
-	train := make([]int, 0, len(data.ids))
+// resolveHoldout maps the holdout benchmark to its dataset row and the
+// training rows. An unknown holdout is a configuration error.
+func resolveHoldout(data *uc1Data, holdout string) (test int, train []int, err error) {
+	test = -1
+	train = make([]int, 0, len(data.ids))
 	for i, id := range data.ids {
-		if id == k.holdout && k.holdout != "" {
+		if id == holdout && holdout != "" {
 			test = i
 		} else {
 			train = append(train, i)
 		}
 	}
-	if k.holdout != "" && test < 0 {
-		return nil, 0, fmt.Errorf("core: %w %q", ErrUnknownBenchmark, k.holdout)
+	if holdout != "" && test < 0 {
+		return 0, nil, fmt.Errorf("core: %w %q", ErrUnknownBenchmark, holdout)
+	}
+	return test, train, nil
+}
+
+// fitResolved runs the fit hook and trains one regressor of the key's
+// model family (or the kNN fallback family) on the training rows.
+func (p *Predictor) fitResolved(data *uc1Data, k modelKey, test int, train []int, fallback bool) (*fittedModel, error) {
+	model, opts, seed := k.data.params()
+	if fallback {
+		model = KNN
+	}
+	if h := p.hook(); h != nil {
+		if err := h(FitInfo{
+			UseCase:  k.data.useCase,
+			System:   k.data.system,
+			Target:   k.data.target,
+			Holdout:  k.holdout,
+			Model:    model,
+			Fallback: fallback,
+		}); err != nil {
+			return nil, err
+		}
 	}
 	reg, err := newModel(model, seed, opts)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	if err := reg.Fit(data.dataset.Subset(train)); err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	return reg, test, nil
+	return &fittedModel{data: data, reg: reg, test: test}, nil
+}
+
+// modelStrict returns the cached fitted regressor for key, training it
+// on first use under the breaker. A failed fit returns *fitError and
+// trips the breaker; a rejected attempt returns *BreakerOpenError.
+// Configuration errors pass through untouched.
+func (p *Predictor) modelStrict(k modelKey) (*fittedModel, bool, error) {
+	data, err := p.dataset(k.data)
+	if err != nil {
+		return nil, false, err
+	}
+	v, _ := p.models.LoadOrStore(k, &modelCell{})
+	c := v.(*modelCell)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fitted != nil {
+		p.hits.Add(1)
+		return c.fitted, true, nil
+	}
+	test, train, err := resolveHoldout(data, k.holdout)
+	if err != nil {
+		return nil, false, err
+	}
+	br := p.breaker(k.data)
+	if err := br.allow(p.now()); err != nil {
+		return nil, false, err
+	}
+	fm, err := p.fitResolved(data, k, test, train, false)
+	if err != nil {
+		ferr := &fitError{err: err}
+		br.failure(p.now(), ferr)
+		return nil, false, ferr
+	}
+	br.success()
+	c.fitted = fm
+	p.misses.Add(1)
+	return fm, false, nil
+}
+
+// fallbackKNN returns the cached degraded-path kNN model for key,
+// fitting it on first use. It bypasses the breaker: the breaker guards
+// the (possibly expensive, possibly broken) primary family, while kNN
+// fitting is memorization and is the escape hatch.
+func (p *Predictor) fallbackKNN(k modelKey) (*fittedModel, bool, error) {
+	data, err := p.dataset(k.data)
+	if err != nil {
+		return nil, false, err
+	}
+	v, _ := p.fallbacks.LoadOrStore(k, &modelCell{})
+	c := v.(*modelCell)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fitted != nil {
+		return c.fitted, true, nil
+	}
+	test, train, err := resolveHoldout(data, k.holdout)
+	if err != nil {
+		return nil, false, err
+	}
+	fm, err := p.fitResolved(data, k, test, train, true)
+	if err != nil {
+		return nil, false, err
+	}
+	c.fitted = fm
+	return fm, false, nil
+}
+
+// modelServe is the request path: the strict model when healthy,
+// otherwise the degraded fallback chain — the stale pre-Refresh model
+// first, then the kNN fallback. Only fit failures and open breakers
+// degrade; configuration errors propagate.
+func (p *Predictor) modelServe(k modelKey) (*servedModel, error) {
+	fm, hit, err := p.modelStrict(k)
+	if err == nil {
+		return &servedModel{fittedModel: fm, hit: hit}, nil
+	}
+	var ferr *fitError
+	var berr *BreakerOpenError
+	if !errors.As(err, &ferr) && !errors.As(err, &berr) {
+		return nil, err
+	}
+	if v, ok := p.stale.Load(k); ok {
+		p.staleServed.Add(1)
+		return &servedModel{fittedModel: v.(*fittedModel), hit: true, degraded: true, fallback: "stale"}, nil
+	}
+	fb, fbHit, fbErr := p.fallbackKNN(k)
+	if fbErr != nil {
+		// The fallback failed too (e.g. the hook kills every fit):
+		// report the primary error, which carries breaker semantics.
+		return nil, err
+	}
+	p.knnServed.Add(1)
+	return &servedModel{fittedModel: fb, hit: fbHit, degraded: true, fallback: "knn"}, nil
 }
 
 // PredictUC1 predicts benchmarkID's distribution on the named system
@@ -213,15 +509,18 @@ func fitModel(data *uc1Data, k modelKey) (ml.Regressor, int, error) {
 // can score the prediction. Identical to the batch PredictUC1 for the
 // same seed, but O(predict) on repeat calls.
 func (p *Predictor) PredictUC1(system, benchmarkID string, cfg UC1Config) (*Prediction, error) {
-	k := modelKey{data: datasetKey{useCase: 1, system: system, uc1: cfg}, holdout: benchmarkID}
 	if err := p.checkBenchmark(system, benchmarkID); err != nil {
 		return nil, err
 	}
-	data, reg, test, hit, err := p.model(k)
+	k := modelKey{data: datasetKey{useCase: 1, system: system, uc1: cfg}, holdout: benchmarkID}
+	if err := p.checkUsable(k.data, benchmarkID); err != nil {
+		return nil, err
+	}
+	m, err := p.modelServe(k)
 	if err != nil {
 		return nil, err
 	}
-	return decodeHoldout(data, reg, test, cfg.Seed, hit), nil
+	return decodeHoldout(m, cfg.Seed), nil
 }
 
 // PredictUC2 predicts benchmarkID's distribution on the target system
@@ -235,11 +534,14 @@ func (p *Predictor) PredictUC2(src, dst, benchmarkID string, cfg UC2Config) (*Pr
 		return nil, err
 	}
 	k := modelKey{data: datasetKey{useCase: 2, system: src, target: dst, uc2: cfg}, holdout: benchmarkID}
-	data, reg, test, hit, err := p.model(k)
+	if err := p.checkUsable(k.data, benchmarkID); err != nil {
+		return nil, err
+	}
+	m, err := p.modelServe(k)
 	if err != nil {
 		return nil, err
 	}
-	return decodeHoldout(data, reg, test, cfg.Seed, hit), nil
+	return decodeHoldout(m, cfg.Seed), nil
 }
 
 // checkBenchmark validates the (system, benchmark) pair up front so
@@ -256,14 +558,33 @@ func (p *Predictor) checkBenchmark(system, benchmarkID string) error {
 	return nil
 }
 
+// checkUsable rejects requests for benchmarks that exist in the
+// database but were quarantined out of the assembled dataset.
+func (p *Predictor) checkUsable(dk datasetKey, benchmarkID string) error {
+	data, err := p.dataset(dk)
+	if err != nil {
+		return err
+	}
+	if data.unusable[benchmarkID] {
+		return fmt.Errorf("core: %w: %q has no usable validated data", ErrBenchmarkQuarantined, benchmarkID)
+	}
+	return nil
+}
+
 // decodeHoldout turns the fitted model's output for the held-out row
 // into a concrete sample, using the same seed derivation as the batch
 // predictHoldout so cached and uncached answers agree bit-for-bit.
-func decodeHoldout(data *uc1Data, reg ml.Regressor, test int, seed uint64, hit bool) *Prediction {
-	predVec := reg.Predict(data.dataset.X[test])
-	actual := data.rel[test]
-	predicted := data.rep.Decode(predVec, len(actual), randx.New(seed^0xD1B54A32D192ED03))
-	return &Prediction{Predicted: predicted, Actual: actual, CacheHit: hit}
+func decodeHoldout(m *servedModel, seed uint64) *Prediction {
+	predVec := m.reg.Predict(m.data.dataset.X[m.test])
+	actual := m.data.rel[m.test]
+	predicted := m.data.rep.Decode(predVec, len(actual), randx.New(seed^0xD1B54A32D192ED03))
+	return &Prediction{
+		Predicted: predicted,
+		Actual:    actual,
+		CacheHit:  m.hit,
+		Degraded:  m.degraded,
+		Fallback:  m.fallback,
+	}
 }
 
 // PredictUC1Profile predicts a distribution on the named system from a
@@ -281,11 +602,11 @@ func (p *Predictor) PredictUC1Profile(system string, probe []perfsim.Run, n int,
 		return nil, err
 	}
 	k := modelKey{data: datasetKey{useCase: 1, system: system, uc1: cfg}}
-	data, reg, _, hit, err := p.model(k)
+	m, err := p.modelServe(k)
 	if err != nil {
 		return nil, err
 	}
-	return p.decodeProfile(data, reg, prof.Values, n, cfg.Seed, hit)
+	return p.decodeProfile(m, prof.Values, n, cfg.Seed)
 }
 
 // PredictUC2Profile predicts a distribution on the target system from
@@ -307,12 +628,12 @@ func (p *Predictor) PredictUC2Profile(src, dst string, probe []perfsim.Run, srcR
 		return nil, err
 	}
 	k := modelKey{data: datasetKey{useCase: 2, system: src, target: dst, uc2: cfg}}
-	data, reg, _, hit, err := p.model(k)
+	m, err := p.modelServe(k)
 	if err != nil {
 		return nil, err
 	}
-	input := features.Concat(prof, features.Labeled("src-dist", data.rep.Encode(srcRelTimes)))
-	return p.decodeProfile(data, reg, input.Values, n, cfg.Seed, hit)
+	input := features.Concat(prof, features.Labeled("src-dist", m.data.rep.Encode(srcRelTimes)))
+	return p.decodeProfile(m, input.Values, n, cfg.Seed)
 }
 
 func buildProfile(probe []perfsim.Run, metricNames []string, meanOnly bool) (*features.Profile, error) {
@@ -322,8 +643,8 @@ func buildProfile(probe []perfsim.Run, metricNames []string, meanOnly bool) (*fe
 	return features.FromRuns(probe, metricNames)
 }
 
-func (p *Predictor) decodeProfile(data *uc1Data, reg ml.Regressor, input []float64, n int, seed uint64, hit bool) (*Prediction, error) {
-	if got, want := len(input), len(data.dataset.X[0]); got != want {
+func (p *Predictor) decodeProfile(m *servedModel, input []float64, n int, seed uint64) (*Prediction, error) {
+	if got, want := len(input), len(m.data.dataset.X[0]); got != want {
 		return nil, fmt.Errorf("core: profile has %d features, model expects %d", got, want)
 	}
 	if n <= 0 {
@@ -332,9 +653,14 @@ func (p *Predictor) decodeProfile(data *uc1Data, reg ml.Regressor, input []float
 	if n <= 0 {
 		n = 1000 // the paper's campaign size
 	}
-	predVec := reg.Predict(input)
-	predicted := data.rep.Decode(predVec, n, randx.New(seed^0xD1B54A32D192ED03))
-	return &Prediction{Predicted: predicted, CacheHit: hit}, nil
+	predVec := m.reg.Predict(input)
+	predicted := m.data.rep.Decode(predVec, n, randx.New(seed^0xD1B54A32D192ED03))
+	return &Prediction{
+		Predicted: predicted,
+		CacheHit:  m.hit,
+		Degraded:  m.degraded,
+		Fallback:  m.fallback,
+	}, nil
 }
 
 // PredictUC1ProfileBatch predicts distributions for many caller-supplied
@@ -353,11 +679,11 @@ func (p *Predictor) PredictUC1ProfileBatch(system string, probes [][]perfsim.Run
 		return nil, err
 	}
 	k := modelKey{data: datasetKey{useCase: 1, system: system, uc1: cfg}}
-	data, reg, _, hit, err := p.model(k)
+	m, err := p.modelServe(k)
 	if err != nil {
 		return nil, err
 	}
-	want := len(data.dataset.X[0])
+	want := len(m.data.dataset.X[0])
 	rows := make([][]float64, len(probes))
 	for i, probe := range probes {
 		prof, err := buildProfile(probe, sd.MetricNames, cfg.FeatureMeanOnly)
@@ -375,13 +701,15 @@ func (p *Predictor) PredictUC1ProfileBatch(system string, probes [][]perfsim.Run
 	if n <= 0 {
 		n = 1000 // the paper's campaign size
 	}
-	vecs := ml.PredictBatch(reg, rows)
+	vecs := ml.PredictBatch(m.reg, rows)
 	out := make([]*Prediction, len(probes))
 	for i, vec := range vecs {
 		seed := cfg.Seed + uint64(i)*0x9E3779B97F4A7C15
 		out[i] = &Prediction{
-			Predicted: data.rep.Decode(vec, n, randx.New(seed^0xD1B54A32D192ED03)),
-			CacheHit:  hit,
+			Predicted: m.data.rep.Decode(vec, n, randx.New(seed^0xD1B54A32D192ED03)),
+			CacheHit:  m.hit,
+			Degraded:  m.degraded,
+			Fallback:  m.fallback,
 		}
 	}
 	return out, nil
@@ -391,7 +719,8 @@ func (p *Predictor) PredictUC1ProfileBatch(system string, probes [][]perfsim.Run
 // every system, so the first live request is already O(predict). It is
 // the server's readiness hook. The models are independent, so they are
 // trained concurrently on the shared worker pool; the first failure
-// cancels the remaining work.
+// cancels the remaining work. Warming is strict: it never falls back,
+// so a failure here surfaces broken configurations at startup.
 func (p *Predictor) Warm(uc1 []UC1Config, uc2 []UC2Config) error {
 	type warmItem struct {
 		key  modelKey
@@ -418,7 +747,7 @@ func (p *Predictor) Warm(uc1 []UC1Config, uc2 []UC2Config) error {
 		}
 	}
 	return parallel.ForEach(context.Background(), len(items), 0, func(_ context.Context, i int) error {
-		if _, _, _, _, err := p.model(items[i].key); err != nil {
+		if _, _, err := p.modelStrict(items[i].key); err != nil {
 			return fmt.Errorf("core: warm %s: %w", items[i].desc, err)
 		}
 		return nil

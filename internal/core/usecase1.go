@@ -30,6 +30,11 @@ type UC1Config struct {
 	// FeatureMeanOnly restricts profiles to per-metric means (the
 	// feature-moments ablation).
 	FeatureMeanOnly bool
+	// Repair enables winsorize-style counter repair during ingest
+	// validation (measure.ValidationPolicy.Repair): runs whose only
+	// defect is a corrupt counter value are repaired by median
+	// imputation instead of quarantined.
+	Repair bool
 	// Models tunes model hyperparameters (ablations).
 	Models ModelOptions
 }
@@ -47,10 +52,22 @@ type uc1Data struct {
 	// ground truth), aligned with dataset rows.
 	rel [][]float64
 	ids []string
+	// quarantine holds the ingest-validation reports per system name
+	// (UC2 datasets carry both the source and target systems).
+	quarantine map[string][]measure.BenchmarkQuarantine
+	// unusable lists benchmarks excluded from the dataset because
+	// validation left them without enough clean data; requests for them
+	// error with ErrBenchmarkQuarantined instead of training on dirt.
+	unusable map[string]bool
 }
 
-// buildUC1 assembles profiles (from the first NumSamples probe runs) and
-// targets (representation encodings of the measured distributions).
+// buildUC1 assembles profiles (from the first NumSamples valid probe
+// runs) and targets (representation encodings of the measured
+// distributions). Every run passes ingest validation first: corrupt
+// runs are quarantined per benchmark, benchmarks left without enough
+// clean data are excluded (and recorded in unusable), and on a fully
+// clean database the assembled problem is bit-identical to validating
+// nothing.
 func buildUC1(sd *measure.SystemData, cfg UC1Config) (*uc1Data, error) {
 	if cfg.NumSamples < 1 {
 		return nil, fmt.Errorf("core: NumSamples must be >= 1, got %d", cfg.NumSamples)
@@ -59,14 +76,33 @@ func buildUC1(sd *measure.SystemData, cfg UC1Config) (*uc1Data, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &uc1Data{rep: rep, dataset: &ml.Dataset{}}
-	for i := range sd.Benchmarks {
-		b := &sd.Benchmarks[i]
-		if cfg.NumSamples > len(b.ProbeRuns) {
+	clean, reports := sd.Validate(0, 0, measure.ValidationPolicy{Repair: cfg.Repair})
+	d := &uc1Data{
+		rep:        rep,
+		dataset:    &ml.Dataset{},
+		quarantine: map[string][]measure.BenchmarkQuarantine{sd.SystemName: reports},
+		unusable:   map[string]bool{},
+	}
+	for i := range clean.Benchmarks {
+		b := &clean.Benchmarks[i]
+		id := b.Workload.ID()
+		// The sample budget is checked against the campaign's raw probe
+		// count: exceeding it is a configuration error, not a data one.
+		if cfg.NumSamples > len(sd.Benchmarks[i].ProbeRuns) {
 			return nil, fmt.Errorf("core: NumSamples=%d exceeds %d probe runs of %s",
-				cfg.NumSamples, len(b.ProbeRuns), b.Workload.ID())
+				cfg.NumSamples, len(sd.Benchmarks[i].ProbeRuns), id)
 		}
-		probe := b.ProbeRuns[:cfg.NumSamples]
+		if reports[i].Unusable {
+			d.unusable[id] = true
+			continue
+		}
+		window := cfg.NumSamples
+		if window > len(b.ProbeRuns) {
+			// Quarantine shrank the probe set below the budget: build the
+			// profile from every surviving probe run rather than failing.
+			window = len(b.ProbeRuns)
+		}
+		probe := b.ProbeRuns[:window]
 		var prof *features.Profile
 		if cfg.FeatureMeanOnly {
 			prof, err = features.MeanOnly(probe, sd.MetricNames)
@@ -74,16 +110,20 @@ func buildUC1(sd *measure.SystemData, cfg UC1Config) (*uc1Data, error) {
 			prof, err = features.FromRuns(probe, sd.MetricNames)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("core: profile of %s: %w", b.Workload.ID(), err)
+			return nil, fmt.Errorf("core: profile of %s: %w", id, err)
 		}
 		rel := b.RelTimes()
 		d.dataset.X = append(d.dataset.X, prof.Values)
 		d.dataset.Y = append(d.dataset.Y, rep.Encode(rel))
 		d.rel = append(d.rel, rel)
-		d.ids = append(d.ids, b.Workload.ID())
+		d.ids = append(d.ids, id)
 		if d.dataset.FeatureNames == nil {
 			d.dataset.FeatureNames = prof.Names
 		}
+	}
+	if len(d.ids) < 2 {
+		return nil, fmt.Errorf("core: system %s has %d usable benchmarks after ingest validation quarantined %d: %w",
+			sd.SystemName, len(d.ids), len(d.unusable), ErrBenchmarkQuarantined)
 	}
 	if err := d.dataset.Validate(); err != nil {
 		return nil, fmt.Errorf("core: UC1 dataset: %w", err)
@@ -111,7 +151,31 @@ func PredictUC1(sd *measure.SystemData, benchmarkID string, cfg UC1Config) (pred
 	if err != nil {
 		return nil, nil, err
 	}
+	if data.unusable[benchmarkID] {
+		return nil, nil, fmt.Errorf("core: %w: %q has no usable validated data", ErrBenchmarkQuarantined, benchmarkID)
+	}
 	return predictHoldout(data.dataset, data.rel, data.ids, data.rep, benchmarkID, cfg.Model, cfg.Models, cfg.Seed)
+}
+
+// FoldError records one cross-validation fold that failed during a
+// tolerant evaluation.
+type FoldError struct {
+	// Benchmark is the held-out benchmark of the failed fold.
+	Benchmark string
+	// Err is the fold's fit or prediction error.
+	Err error
+}
+
+// EvaluateUC1Tolerant is EvaluateUC1 for dirty campaigns: per-fold fit
+// failures are collected and reported instead of aborting the whole
+// evaluation, so a single poisoned fold costs one score, not the
+// sweep. Scores cover only the folds that succeeded.
+func EvaluateUC1Tolerant(sd *measure.SystemData, cfg UC1Config) ([]BenchScore, []FoldError, error) {
+	data, err := buildUC1(sd, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return evaluateLOGOTolerant(data.dataset, data.rel, data.ids, data.rep, cfg.Model, cfg.Models, cfg.Seed)
 }
 
 // evaluateLOGO is the shared LOGO evaluation loop for both use cases.
@@ -156,6 +220,60 @@ func evaluateLOGO(dataset *ml.Dataset, rel [][]float64, ids []string,
 		return nil, err
 	}
 	return scores, nil
+}
+
+// evaluateLOGOTolerant mirrors evaluateLOGO but tolerates per-fold
+// failures: every fold runs, failed folds come back as FoldErrors, and
+// scores cover the survivors only. Successful folds score identically
+// to evaluateLOGO (same pre-split RNG streams and per-fold seeds).
+func evaluateLOGOTolerant(dataset *ml.Dataset, rel [][]float64, ids []string,
+	rep distrep.Representation, model Model, opts ModelOptions, seed uint64) ([]BenchScore, []FoldError, error) {
+
+	splits, err := cv.LeaveOneGroupOut(ids)
+	if err != nil {
+		return nil, nil, err
+	}
+	root := randx.New(seed)
+	rngs := make([]*randx.RNG, len(splits))
+	seeds := make([]uint64, len(splits))
+	for i := range splits {
+		rngs[i] = root.Split()
+		seeds[i] = seed + uint64(i)*0x9E3779B97F4A7C15
+	}
+	scores := make([]BenchScore, len(splits))
+	ok := make([]bool, len(splits))
+	idx := make(map[string]int, len(splits))
+	for i, s := range splits {
+		idx[s.Group] = i
+	}
+	results := cv.EvaluateTolerant(splits, func(split cv.Split) ([]float64, error) {
+		i := idx[split.Group]
+		reg, err := newModel(model, seeds[i], opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := reg.Fit(dataset.Subset(split.Train)); err != nil {
+			return nil, err
+		}
+		test := split.Test[0]
+		predVec := ml.PredictBatch(reg, [][]float64{dataset.X[test]})[0]
+		actualRel := rel[test]
+		predRel := rep.Decode(predVec, len(actualRel), rngs[i])
+		scores[i] = score(split.Group, predRel, actualRel)
+		ok[i] = true
+		return nil, nil
+	})
+	var kept []BenchScore
+	var failed []FoldError
+	for i, r := range results {
+		switch {
+		case r.Err != nil:
+			failed = append(failed, FoldError{Benchmark: r.Group, Err: r.Err})
+		case ok[i]:
+			kept = append(kept, scores[i])
+		}
+	}
+	return kept, failed, nil
 }
 
 // predictHoldout trains on every benchmark except benchmarkID and

@@ -27,6 +27,9 @@ type UC2Config struct {
 	ProfileRuns int
 	// Seed drives all stochastic components.
 	Seed uint64
+	// Repair enables winsorize-style counter repair during ingest
+	// validation (measure.ValidationPolicy.Repair).
+	Repair bool
 	// Models tunes model hyperparameters (ablations).
 	Models ModelOptions
 }
@@ -39,7 +42,9 @@ func (c UC2Config) String() string {
 // buildUC2 assembles the system-to-system learning problem: inputs are
 // the source-system profile concatenated with the source-system
 // distribution encoding; targets are the target-system distribution
-// encoding.
+// encoding. Both systems pass ingest validation first; a benchmark must
+// keep at least two valid measurement runs on each side to stay in the
+// dataset (probe runs are a UC1 concern and do not gate UC2).
 func buildUC2(src, dst *measure.SystemData, cfg UC2Config) (*uc1Data, error) {
 	rep, err := newRepresentation(cfg.Rep, cfg.Bins)
 	if err != nil {
@@ -49,13 +54,33 @@ func buildUC2(src, dst *measure.SystemData, cfg UC2Config) (*uc1Data, error) {
 	if profileRuns <= 0 {
 		profileRuns = 100
 	}
-	d := &uc1Data{rep: rep, dataset: &ml.Dataset{}}
-	for i := range src.Benchmarks {
-		sb := &src.Benchmarks[i]
+	pol := measure.ValidationPolicy{Repair: cfg.Repair}
+	cleanSrc, srcReports := src.Validate(0, 0, pol)
+	cleanDst, dstReports := dst.Validate(0, 0, pol)
+	d := &uc1Data{
+		rep:     rep,
+		dataset: &ml.Dataset{},
+		quarantine: map[string][]measure.BenchmarkQuarantine{
+			src.SystemName: srcReports,
+			dst.SystemName: dstReports,
+		},
+		unusable: map[string]bool{},
+	}
+	dstIdx := make(map[string]int, len(cleanDst.Benchmarks))
+	for i := range cleanDst.Benchmarks {
+		dstIdx[cleanDst.Benchmarks[i].Workload.ID()] = i
+	}
+	for i := range cleanSrc.Benchmarks {
+		sb := &cleanSrc.Benchmarks[i]
 		id := sb.Workload.ID()
-		db, ok := dst.Find(id)
+		j, ok := dstIdx[id]
 		if !ok {
 			return nil, fmt.Errorf("core: benchmark %s missing on target system %s", id, dst.SystemName)
+		}
+		db := &cleanDst.Benchmarks[j]
+		if len(sb.Runs) < 2 || len(db.Runs) < 2 {
+			d.unusable[id] = true
+			continue
 		}
 		n := profileRuns
 		if n > len(sb.Runs) {
@@ -75,6 +100,10 @@ func buildUC2(src, dst *measure.SystemData, cfg UC2Config) (*uc1Data, error) {
 		if d.dataset.FeatureNames == nil {
 			d.dataset.FeatureNames = input.Names
 		}
+	}
+	if len(d.ids) < 2 {
+		return nil, fmt.Errorf("core: UC2 %s->%s has %d usable benchmarks after ingest validation quarantined %d: %w",
+			src.SystemName, dst.SystemName, len(d.ids), len(d.unusable), ErrBenchmarkQuarantined)
 	}
 	if err := d.dataset.Validate(); err != nil {
 		return nil, fmt.Errorf("core: UC2 dataset: %w", err)
@@ -101,6 +130,9 @@ func PredictUC2(src, dst *measure.SystemData, benchmarkID string, cfg UC2Config)
 	data, err := buildUC2(src, dst, cfg)
 	if err != nil {
 		return nil, nil, err
+	}
+	if data.unusable[benchmarkID] {
+		return nil, nil, fmt.Errorf("core: %w: %q has no usable validated data", ErrBenchmarkQuarantined, benchmarkID)
 	}
 	return predictHoldout(data.dataset, data.rel, data.ids, data.rep, benchmarkID, cfg.Model, cfg.Models, cfg.Seed)
 }

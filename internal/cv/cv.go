@@ -84,10 +84,12 @@ func KFold(n, k int) ([]Split, error) {
 }
 
 // Result pairs a split's group with the per-test-example outputs the
-// evaluation function produced.
+// evaluation function produced. Err is set only by EvaluateTolerant,
+// for splits whose evaluation failed.
 type Result struct {
 	Group  string
 	Values []float64
+	Err    error
 }
 
 // EvaluateParallel runs eval on every split concurrently on the shared
@@ -112,6 +114,36 @@ func EvaluateParallel(splits []Split, eval func(Split) ([]float64, error)) ([]Re
 		return nil, err
 	}
 	return results, nil
+}
+
+// EvaluateTolerant runs eval on every split concurrently like
+// EvaluateParallel, but a failing split does not cancel the others:
+// its error is recorded in the corresponding Result.Err and evaluation
+// continues. This is the driver for robustness sweeps over dirty
+// campaigns, where one poisoned fold should cost one score rather than
+// the whole evaluation.
+func EvaluateTolerant(splits []Split, eval func(Split) ([]float64, error)) []Result {
+	results := make([]Result, len(splits))
+	// The item function never returns an error, so ForEach cannot
+	// cancel: every split runs to completion.
+	_ = parallel.ForEach(context.Background(), len(splits), 0, func(_ context.Context, i int) error {
+		s := splits[i]
+		vals, err := eval(s)
+		results[i] = Result{Group: s.Group, Values: vals, Err: err}
+		return nil
+	})
+	return results
+}
+
+// Failures counts results carrying an error.
+func Failures(results []Result) int {
+	n := 0
+	for _, r := range results {
+		if r.Err != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Flatten concatenates all result values, preserving split order.

@@ -193,3 +193,37 @@ func TestEvaluateParallelFirstErrorCancelsRemaining(t *testing.T) {
 		t.Errorf("%d of 500 splits ran after the first error, want prompt cancellation", got)
 	}
 }
+
+func TestEvaluateTolerantRecordsFailuresAndContinues(t *testing.T) {
+	splits, err := LeaveOneGroupOut([]string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := EvaluateTolerant(splits, func(s Split) ([]float64, error) {
+		if s.Group == "b" {
+			return nil, errors.New("poisoned fold")
+		}
+		return []float64{float64(len(s.Test))}, nil
+	})
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want all 4 splits evaluated", len(results))
+	}
+	if Failures(results) != 1 {
+		t.Errorf("Failures = %d, want 1", Failures(results))
+	}
+	for _, r := range results {
+		if r.Group == "b" {
+			if r.Err == nil || r.Values != nil {
+				t.Errorf("failed split: %+v, want recorded error and no values", r)
+			}
+			continue
+		}
+		if r.Err != nil || len(r.Values) != 1 {
+			t.Errorf("healthy split %q harmed by a sibling failure: %+v", r.Group, r)
+		}
+	}
+	// Flatten skips the failed split's (nil) values.
+	if vals := Flatten(results); len(vals) != 3 {
+		t.Errorf("Flatten kept %d values, want 3", len(vals))
+	}
+}

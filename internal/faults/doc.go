@@ -1,0 +1,31 @@
+// Package faults is a deterministic, seedable fault injector for the
+// measurement pipeline: it corrupts perfsim run sets — and whole
+// measure.Database campaigns — on purpose, so the feature, training,
+// and serving layers can be tested against dirty data instead of
+// assuming every perf-counter sample is clean.
+//
+// The injector models the fault classes longitudinal counter-stream
+// studies actually observe:
+//
+//   - stragglers: heavy-tail (Pareto) run-time multipliers, the
+//     contaminated-duration case;
+//   - dropped runs: records missing from the campaign entirely;
+//   - corrupt counters: NaN, ±Inf, or negative counter totals;
+//   - truncated profiles: counter vectors cut short mid-record;
+//   - schema drift: counter vectors longer than the schema they were
+//     supposedly written under.
+//
+// Every decision derives from Config.Seed hashed with the (system,
+// benchmark) identity, so the same configuration corrupts the same
+// runs in the same way regardless of iteration order or which subset
+// of the database is injected — the property the quarantine
+// determinism tests rely on. Injection never mutates its input: Inject
+// returns a corrupted deep copy, and Injector.Apply copies the run set
+// before touching it.
+//
+// The validation counterpart lives in internal/measure (ValidateRuns
+// and friends): internal/core consumes only validated data, so these
+// two packages together bound how much injected dirt reaches a trained
+// model. The fault-rate sweep in cmd/experiments (-ext, ext6)
+// quantifies exactly that.
+package faults

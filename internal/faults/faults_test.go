@@ -1,0 +1,228 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/measure"
+	"repro/internal/perfsim"
+	"repro/internal/randx"
+)
+
+// makeRuns builds n valid runs with a 3-metric schema.
+func makeRuns(n int) []perfsim.Run {
+	rng := randx.New(42)
+	out := make([]perfsim.Run, n)
+	for i := range out {
+		out[i] = perfsim.Run{
+			Seconds: 1 + rng.Float64(),
+			Metrics: []float64{rng.Float64() * 100, rng.Float64() * 1e6, rng.Float64() * 1e3},
+		}
+	}
+	return out
+}
+
+func makeDB(t *testing.T) *measure.Database {
+	t.Helper()
+	mkSystem := func(name string) measure.SystemData {
+		sd := measure.SystemData{
+			SystemName:  name,
+			MetricNames: []string{"a", "b", "c"},
+		}
+		for _, bench := range []string{"bt", "lu", "cg"} {
+			sd.Benchmarks = append(sd.Benchmarks, measure.BenchmarkData{
+				Workload:  perfsim.Workload{Suite: "npb", Name: bench},
+				Runs:      makeRuns(50),
+				ProbeRuns: makeRuns(10),
+			})
+		}
+		return sd
+	}
+	return &measure.Database{
+		Seed: 1, RunsPerBenchmark: 50, ProbeRunsPerBenchmark: 10,
+		Systems: []measure.SystemData{mkSystem("intel"), mkSystem("amd")},
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{CorruptRate: -0.1}); err == nil {
+		t.Error("negative rate must be rejected")
+	}
+	if _, err := New(Config{CorruptRate: 0.6, DropRate: 0.6}); err == nil {
+		t.Error("rates summing past 1 must be rejected")
+	}
+	if _, err := New(Config{CorruptRate: 0.5, DropRate: 0.5}); err != nil {
+		t.Errorf("rates summing to exactly 1: %v", err)
+	}
+}
+
+func TestApplyNeverMutatesInput(t *testing.T) {
+	runs := makeRuns(200)
+	backup := perfsim.CloneRuns(runs)
+	inj, err := New(Config{Seed: 7, CorruptRate: 0.3, TruncateRate: 0.2, DropRate: 0.2, StragglerRate: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = inj.Apply("s/npb/bt/runs", "s/npb/bt", runs)
+	if !reflect.DeepEqual(runs, backup) {
+		t.Error("Apply mutated its input")
+	}
+}
+
+func TestApplyDeterministicAndOrderIndependent(t *testing.T) {
+	runs := makeRuns(300)
+	cfg := Config{Seed: 99, CorruptRate: 0.1, DropRate: 0.05, TruncateRate: 0.05, DriftRate: 0.05, StragglerRate: 0.05}
+	injA, _ := New(cfg)
+	injB, _ := New(cfg)
+	// B processes an unrelated stream first; the target stream must come
+	// out identical anyway (per-stream RNG derivation).
+	_ = injB.Apply("other/suite/x/runs", "other/suite/x", makeRuns(40))
+	a := injA.Apply("intel/npb/bt/runs", "intel/npb/bt", runs)
+	b := injB.Apply("intel/npb/bt/runs", "intel/npb/bt", runs)
+	if len(a) == len(runs) {
+		t.Error("expected some dropped runs at these rates")
+	}
+	if !equalRuns(a, b) {
+		t.Error("same seed + stream must fault identically regardless of other streams")
+	}
+}
+
+// equalRuns compares runs treating NaN == NaN.
+func equalRuns(a, b []perfsim.Run) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	eq := func(x, y float64) bool {
+		return x == y || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	for i := range a {
+		if !eq(a[i].Seconds, b[i].Seconds) || len(a[i].Metrics) != len(b[i].Metrics) {
+			return false
+		}
+		for j := range a[i].Metrics {
+			if !eq(a[i].Metrics[j], b[i].Metrics[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestApplyClassRatesAndReport(t *testing.T) {
+	runs := makeRuns(2000)
+	inj, _ := New(Config{Seed: 5, CorruptRate: 0.10, TruncateRate: 0.05, DriftRate: 0.05, DropRate: 0.05, StragglerRate: 0.05})
+	out := inj.Apply("s/b/x/runs", "s/b/x", runs)
+	rep := inj.Report()
+	if rep.Examined != 2000 {
+		t.Errorf("Examined = %d", rep.Examined)
+	}
+	total := rep.Total()
+	// ~30% fault rate over 2000 runs: expect roughly 600, loosely bounded.
+	if total < 450 || total > 750 {
+		t.Errorf("injected %d faults, want ~600", total)
+	}
+	if len(out)+rep.Injected[Drop] != 2000 {
+		t.Errorf("dropped runs unaccounted: %d out + %d dropped", len(out), rep.Injected[Drop])
+	}
+	corrupt := rep.Injected[CorruptNaN] + rep.Injected[CorruptInf] + rep.Injected[CorruptNeg]
+	if corrupt == 0 || rep.Injected[Truncate] == 0 || rep.Injected[SchemaDrift] == 0 || rep.Injected[Straggler] == 0 {
+		t.Errorf("all classes should appear at these rates: %+v", rep.Injected)
+	}
+	if rep.ByBenchmark["s/b/x"] != total {
+		t.Errorf("ByBenchmark = %v, want %d under one key", rep.ByBenchmark, total)
+	}
+}
+
+func TestStragglersAreValidButSlow(t *testing.T) {
+	runs := makeRuns(500)
+	inj, _ := New(Config{Seed: 11, StragglerRate: 0.2, StragglerScale: 4})
+	out := inj.Apply("s/b/x/runs", "s/b/x", runs)
+	if len(out) != len(runs) {
+		t.Fatal("stragglers must not drop runs")
+	}
+	slower := 0
+	for i := range out {
+		if out[i].Seconds > runs[i].Seconds {
+			if out[i].Seconds < 4*runs[i].Seconds {
+				t.Errorf("straggler multiplier below scale: %v -> %v", runs[i].Seconds, out[i].Seconds)
+			}
+			slower++
+		}
+		if cs := measure.ValidateRun(out[i], 3); len(cs) != 0 {
+			t.Errorf("straggler run must stay schema-valid, got %v", cs)
+		}
+	}
+	if slower == 0 {
+		t.Error("no stragglers injected at 20% rate")
+	}
+}
+
+func TestInjectTargetsSystemsAndIsDeterministic(t *testing.T) {
+	db := makeDB(t)
+	cfg := Config{Seed: 123, CorruptRate: 0.2, Systems: []string{"intel"}}
+	f1, rep1, err := Inject(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, rep2, err := Inject(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Total() == 0 {
+		t.Fatal("nothing injected")
+	}
+	if rep1.Total() != rep2.Total() {
+		t.Errorf("same seed, different totals: %d vs %d", rep1.Total(), rep2.Total())
+	}
+	// The untargeted system must be byte-identical to the original.
+	amd1, _ := f1.System("amd")
+	amdOrig, _ := db.System("amd")
+	for i := range amdOrig.Benchmarks {
+		if !equalRuns(amd1.Benchmarks[i].Runs, amdOrig.Benchmarks[i].Runs) ||
+			!equalRuns(amd1.Benchmarks[i].ProbeRuns, amdOrig.Benchmarks[i].ProbeRuns) {
+			t.Fatal("untargeted system was touched")
+		}
+	}
+	// Determinism run-for-run on the targeted system.
+	i1, _ := f1.System("intel")
+	i2, _ := f2.System("intel")
+	for i := range i1.Benchmarks {
+		if !equalRuns(i1.Benchmarks[i].Runs, i2.Benchmarks[i].Runs) {
+			t.Fatal("same seed must corrupt identically")
+		}
+	}
+	// And the input database was never mutated.
+	intelOrig, _ := db.System("intel")
+	clean := 0
+	for i := range intelOrig.Benchmarks {
+		for _, r := range intelOrig.Benchmarks[i].Runs {
+			if len(measure.ValidateRun(r, 3)) == 0 {
+				clean++
+			}
+		}
+	}
+	if clean != 3*50 {
+		t.Error("Inject mutated the input database")
+	}
+}
+
+func TestSkipRunsAndProbes(t *testing.T) {
+	db := makeDB(t)
+	f, rep, err := Inject(db, Config{Seed: 9, CorruptRate: 0.5, SkipProbes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total() == 0 {
+		t.Fatal("nothing injected")
+	}
+	for si := range f.Systems {
+		for bi := range f.Systems[si].Benchmarks {
+			for _, r := range f.Systems[si].Benchmarks[bi].ProbeRuns {
+				if len(measure.ValidateRun(r, 3)) != 0 {
+					t.Fatal("SkipProbes must leave probe runs clean")
+				}
+			}
+		}
+	}
+}

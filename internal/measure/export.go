@@ -32,13 +32,19 @@ func (s *SystemData) ExportRelTimesCSV(w io.Writer) error {
 		}
 	}
 	cw.Flush()
-	return cw.Error()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("measure: csv flush: %w", err)
+	}
+	return nil
 }
 
 // ExportProfileCSV writes the raw per-run counter totals of one
 // benchmark as CSV, one row per run with a duration column followed by
 // the system's metric schema.
 func (s *SystemData) ExportProfileCSV(w io.Writer, benchmarkID string) error {
+	if len(s.MetricNames) == 0 {
+		return fmt.Errorf("measure: system %s has an empty metric schema; refusing to write a counter-less profile CSV", s.SystemName)
+	}
 	b, ok := s.Find(benchmarkID)
 	if !ok {
 		return fmt.Errorf("measure: benchmark %q not in system %s", benchmarkID, s.SystemName)
@@ -59,5 +65,8 @@ func (s *SystemData) ExportProfileCSV(w io.Writer, benchmarkID string) error {
 		}
 	}
 	cw.Flush()
-	return cw.Error()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("measure: csv flush: %w", err)
+	}
+	return nil
 }

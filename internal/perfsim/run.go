@@ -134,6 +134,24 @@ func (b *BenchInstance) RunN(rng *randx.RNG, n int) []Run {
 	return out
 }
 
+// Clone returns a deep copy of the run (the Metrics slice is copied),
+// so mutating the clone — e.g. fault injection — cannot alias the
+// original record.
+func (r Run) Clone() Run {
+	out := r
+	out.Metrics = append([]float64(nil), r.Metrics...)
+	return out
+}
+
+// CloneRuns deep-copies a run set.
+func CloneRuns(runs []Run) []Run {
+	out := make([]Run, len(runs))
+	for i := range runs {
+		out[i] = runs[i].Clone()
+	}
+	return out
+}
+
 // Seconds extracts the wall times from a run set.
 func Seconds(runs []Run) []float64 {
 	out := make([]float64, len(runs))

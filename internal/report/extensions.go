@@ -8,6 +8,7 @@ import (
 	"repro/internal/adaptive"
 	"repro/internal/core"
 	"repro/internal/distrep"
+	"repro/internal/faults"
 	"repro/internal/measure"
 	"repro/internal/perfsim"
 	"repro/internal/randx"
@@ -27,7 +28,10 @@ import (
 //	      cites (how many runs does *measuring* a trustworthy
 //	      distribution take, versus the fixed 10-run prediction budget);
 //	ext5: which profile metrics drive the prediction (random-forest
-//	      gain importance).
+//	      gain importance);
+//	ext6: how much injected measurement dirt (corrupt counters,
+//	      truncated/drifted schemas, dropped runs) the quarantine +
+//	      repair pipeline absorbs before LOGO-CV accuracy degrades.
 
 // Ext1ModelBaselines extends Figure 4's model comparison with the Ridge
 // linear baseline (PearsonRnd representation, use case 1).
@@ -308,6 +312,92 @@ func Ext5FeatureImportance(db *measure.Database, opts Options) (*Result, error) 
 	}, nil
 }
 
+// Ext6FaultTolerance sweeps injected fault rates over the measurement
+// campaign and reports how LOGO-CV accuracy (mean KS, kNN + PearsonRnd,
+// use case 1) responds under the ingest-validation pipeline, with and
+// without counter repair. The composite fault mix at rate r corrupts a
+// counter in r of the runs and truncates, schema-drifts, and drops r/5
+// each; folds whose fit still fails are tolerated and counted rather
+// than aborting the sweep.
+func Ext6FaultTolerance(db *measure.Database, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	if _, _, err := intelAMD(db); err != nil {
+		return nil, err
+	}
+	rates := []float64{0, 0.01, 0.05, 0.10}
+	rows := [][]string{{"faultRate", "injected", "quarantined", "meanKS", "meanKS(repair)", "usable", "foldFail"}}
+	var text strings.Builder
+	ksAt := map[float64]float64{}
+	ksRepairAt := map[float64]float64{}
+	for _, rate := range rates {
+		faulted := db
+		injected := 0
+		if rate > 0 {
+			fdb, frep, err := faults.Inject(db, faults.Config{
+				Seed:         o.Seed + 97,
+				CorruptRate:  rate,
+				TruncateRate: rate / 5,
+				DriftRate:    rate / 5,
+				DropRate:     rate / 5,
+				Systems:      []string{"intel"},
+			})
+			if err != nil {
+				return nil, err
+			}
+			faulted = fdb
+			injected = frep.Total()
+		}
+		sys, ok := faulted.System("intel")
+		if !ok {
+			return nil, fmt.Errorf("report: faulted database lacks the intel system")
+		}
+		_, reports := sys.Validate(0, 0, measure.ValidationPolicy{})
+		quarantined := 0
+		for i := range reports {
+			quarantined += reports[i].Runs.Quarantined + reports[i].Probes.Quarantined
+		}
+		cfg := core.UC1Config{
+			Rep: distrep.PearsonRnd, Model: core.KNN, NumSamples: o.Samples,
+			Seed: o.Seed, Models: o.modelOptions(),
+		}
+		scores, folds, err := core.EvaluateUC1Tolerant(sys, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfgRepair := cfg
+		cfgRepair.Repair = true
+		scoresRepair, _, err := core.EvaluateUC1Tolerant(sys, cfgRepair)
+		if err != nil {
+			return nil, err
+		}
+		meanKS := stats.Summarize(core.KSValues(scores)).Mean
+		meanKSRepair := stats.Summarize(core.KSValues(scoresRepair)).Mean
+		ksAt[rate] = meanKS
+		ksRepairAt[rate] = meanKSRepair
+		usable := len(scores) + len(folds)
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", rate*100), fmt.Sprint(injected), fmt.Sprint(quarantined),
+			fmt.Sprintf("%.3f", meanKS), fmt.Sprintf("%.3f", meanKSRepair),
+			fmt.Sprint(usable), fmt.Sprint(len(folds)),
+		})
+		fmt.Fprintf(&text, "rate %4.0f%%: %4d injected, %4d quarantined -> meanKS %.3f (repair %.3f), %d usable benchmarks, %d failed folds\n",
+			rate*100, injected, quarantined, meanKS, meanKSRepair, usable, len(folds))
+	}
+	worst := rates[len(rates)-1]
+	return &Result{
+		ID:    "ext6",
+		Title: "Extension 6: UC1 accuracy vs injected fault rate under ingest quarantine",
+		Text:  text.String(),
+		Rows:  rows,
+		Headlines: []Headline{
+			{Name: fmt.Sprintf("mean KS inflation at %.0f%% composite faults (quarantine only)", worst*100),
+				Paper: 0, Measured: ksAt[worst] - ksAt[0]},
+			{Name: fmt.Sprintf("repair benefit at %.0f%% (quarantine-only minus repair mean KS)", worst*100),
+				Paper: 0, Measured: ksAt[worst] - ksRepairAt[worst]},
+		},
+	}, nil
+}
+
 // Extensions maps extension IDs to drivers.
 func Extensions() map[string]func(*measure.Database, Options) (*Result, error) {
 	return map[string]func(*measure.Database, Options) (*Result, error){
@@ -316,8 +406,11 @@ func Extensions() map[string]func(*measure.Database, Options) (*Result, error) {
 		"ext3": Ext3DivergenceRobustness,
 		"ext4": Ext4AdaptiveCost,
 		"ext5": Ext5FeatureImportance,
+		"ext6": Ext6FaultTolerance,
 	}
 }
 
 // ExtensionIDs lists the extension experiments in order.
-func ExtensionIDs() []string { return []string{"ext1", "ext2", "ext3", "ext4", "ext5"} }
+func ExtensionIDs() []string {
+	return []string{"ext1", "ext2", "ext3", "ext4", "ext5", "ext6"}
+}

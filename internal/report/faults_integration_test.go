@@ -1,0 +1,90 @@
+//go:build faults
+
+package report
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/measure"
+	"repro/internal/perfsim"
+)
+
+// TestExt6FaultToleranceEndToEnd is the fault-injection CI shard
+// (go test -tags=faults): it drives the full inject -> validate ->
+// quarantine -> LOGO-evaluate pipeline across the fault-rate sweep on a
+// reduced campaign and checks the structural invariants of the result.
+func TestExt6FaultToleranceEndToEnd(t *testing.T) {
+	db, err := measure.Collect(
+		[]*perfsim.System{perfsim.NewIntelSystem(), perfsim.NewAMDSystem()},
+		perfsim.TableI()[:16],
+		measure.Config{Runs: 80, ProbeRuns: 12, Seed: 20250806},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Ext6FaultTolerance(db, Options{Seed: 3, Samples: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "ext6" {
+		t.Errorf("ID = %q", res.ID)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want header + 4 fault rates", len(res.Rows))
+	}
+	atoi := func(s string) int {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("non-numeric cell %q", s)
+		}
+		return n
+	}
+	atof := func(s string) float64 {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("non-numeric cell %q", s)
+		}
+		return f
+	}
+	// Row 1 is the clean baseline: nothing injected, nothing quarantined.
+	if atoi(res.Rows[1][1]) != 0 || atoi(res.Rows[1][2]) != 0 {
+		t.Errorf("clean baseline row injected/quarantined nonzero: %v", res.Rows[1])
+	}
+	prevInjected := -1
+	for _, row := range res.Rows[1:] {
+		injected, quarantined := atoi(row[1]), atoi(row[2])
+		if injected < prevInjected {
+			t.Errorf("injected count not monotone in fault rate: %v", res.Rows)
+		}
+		prevInjected = injected
+		// Drops are injected but not quarantined (the runs are gone),
+		// so the two counts need not match; both must be sane.
+		if quarantined > injected {
+			t.Errorf("quarantined %d > injected %d", quarantined, injected)
+		}
+		for _, col := range []int{3, 4} {
+			ks := atof(row[col])
+			if math.IsNaN(ks) || ks <= 0 || ks > 1 {
+				t.Errorf("mean KS %v out of (0, 1]: %v", ks, row)
+			}
+		}
+		if usable := atoi(row[5]); usable < 2 {
+			t.Errorf("usable benchmarks collapsed to %d: %v", usable, row)
+		}
+	}
+	// The 10% row must actually have exercised the quarantine.
+	last := res.Rows[len(res.Rows)-1]
+	if atoi(last[1]) == 0 || atoi(last[2]) == 0 {
+		t.Errorf("10%% fault rate injected/quarantined nothing: %v", last)
+	}
+	if len(res.Headlines) != 2 {
+		t.Fatalf("headlines = %d, want 2", len(res.Headlines))
+	}
+	for _, h := range res.Headlines {
+		if math.IsNaN(h.Measured) || math.IsInf(h.Measured, 0) {
+			t.Errorf("headline %q measured %v", h.Name, h.Measured)
+		}
+	}
+}

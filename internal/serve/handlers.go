@@ -6,7 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -26,6 +29,38 @@ const maxBatchProfiles = 256
 // statusClientClosedRequest is nginx's convention for "the client went
 // away before we could answer".
 const statusClientClosedRequest = 499
+
+// maxQueueWait bounds how long a request queues for a worker slot once
+// the pool is saturated. Past it the server sheds the request with 503
+// + Retry-After instead of holding the connection open until the
+// request deadline — load shedding beats queue collapse.
+const maxQueueWait = time.Second
+
+// acquireWorker takes a worker slot: immediately when one is free,
+// otherwise queueing up to maxQueueWait (but never past the request
+// deadline). It writes the 503/504/499 response itself on failure and
+// reports whether the slot was acquired.
+func (s *Server) acquireWorker(w http.ResponseWriter, ctx context.Context, phase string) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	s.metrics.saturated.Add(1)
+	queue := time.NewTimer(maxQueueWait)
+	defer queue.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		writeTimeout(w, ctx, phase)
+		return false
+	case <-queue.C:
+		setRetryAfter(w, maxQueueWait)
+		writeError(w, http.StatusServiceUnavailable, "worker pool saturated; retry later")
+		return false
+	}
+}
 
 func (s *Server) handleUC1(w http.ResponseWriter, r *http.Request) { s.handlePredict(w, r, 1) }
 func (s *Server) handleUC2(w http.ResponseWriter, r *http.Request) { s.handlePredict(w, r, 2) }
@@ -66,11 +101,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, useCase i
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
-	// Bounded worker pool: wait for a slot, but never past the deadline.
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		writeTimeout(w, ctx, "waiting for a worker")
+	// Bounded worker pool: take a slot, queueing briefly under
+	// saturation and shedding with 503 + Retry-After past that.
+	if !s.acquireWorker(w, ctx, "waiting for a worker") {
 		return
 	}
 
@@ -155,10 +188,7 @@ func (s *Server) handleUC1Batch(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		writeTimeout(w, ctx, "waiting for a worker")
+	if !s.acquireWorker(w, ctx, "waiting for a worker") {
 		return
 	}
 
@@ -193,6 +223,8 @@ func (s *Server) handleUC1Batch(w http.ResponseWriter, r *http.Request) {
 		if out.preds[0].CacheHit {
 			resp.Cache = "hit"
 		}
+		resp.Degraded = out.preds[0].Degraded
+		resp.Fallback = out.preds[0].Fallback
 		for _, p := range out.preds {
 			resp.Results = append(resp.Results, BatchResultJSON{
 				N:         len(p.Predicted),
@@ -277,6 +309,8 @@ func buildResponse(req *PredictRequest, useCase int, p *core.Prediction) *Predic
 	if p.CacheHit {
 		resp.Cache = "hit"
 	}
+	resp.Degraded = p.Degraded
+	resp.Fallback = p.Fallback
 	if p.Actual != nil {
 		ks := stats.KSStatistic(pred, p.Actual)
 		w1 := stats.Wasserstein1(pred, p.Actual)
@@ -343,14 +377,35 @@ func countModes(xs []float64) int {
 }
 
 // writePredictError maps predictor errors onto HTTP statuses: unknown
-// IDs are 404 (the IDs are resource names), config mistakes are 400.
+// IDs are 404 (the IDs are resource names), quarantined benchmarks are
+// 422 (the request is well-formed; the data is unusable), an open
+// breaker whose fallbacks also failed is 503 with Retry-After, a fit
+// failure is 500, and config mistakes are 400.
 func writePredictError(w http.ResponseWriter, err error) {
+	var boe *core.BreakerOpenError
 	switch {
 	case errors.Is(err, core.ErrUnknownSystem), errors.Is(err, core.ErrUnknownBenchmark):
 		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, core.ErrBenchmarkQuarantined):
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+	case errors.As(err, &boe):
+		setRetryAfter(w, boe.RetryAfter)
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, core.ErrFitFailed):
+		writeError(w, http.StatusInternalServerError, err.Error())
 	default:
 		writeError(w, http.StatusBadRequest, err.Error())
 	}
+}
+
+// setRetryAfter renders d as a Retry-After header, rounded up to whole
+// seconds with a 1s floor (the header has second granularity).
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 
 // writeTimeout distinguishes a server-side deadline (504) from a client
@@ -401,5 +456,72 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
+	// Degraded is still ready: the fallback chain answers requests. The
+	// status string flips so orchestrators (and humans) can see it.
+	if deg := s.pred.Degraded(); deg.BreakersOpen > 0 {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "degraded", "breakers_open": deg.BreakersOpen})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleStatus renders the robustness posture: breaker states, the
+// degraded-serving counters, and the per-system quarantine summary.
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	deg := s.pred.Degraded()
+	resp := StatusResponse{
+		Status:       "ok",
+		BreakersOpen: deg.BreakersOpen,
+		StaleServed:  deg.StaleServed,
+		KNNServed:    deg.KNNServed,
+	}
+	if deg.BreakersOpen > 0 {
+		resp.Status = "degraded"
+	}
+	for _, b := range s.pred.Breakers() {
+		resp.Breakers = append(resp.Breakers, BreakerJSON{
+			Key:          b.Key,
+			Open:         b.Open,
+			Failures:     b.Failures,
+			Trips:        b.Trips,
+			RetryAfterMS: float64(b.RetryAfter) / float64(time.Millisecond),
+			LastError:    b.LastErr,
+		})
+	}
+	reports := s.pred.QuarantineReports()
+	systems := make([]string, 0, len(reports))
+	for sys := range reports {
+		systems = append(systems, sys)
+	}
+	sort.Strings(systems)
+	for _, sys := range systems {
+		q := reports[sys]
+		j := QuarantineJSON{
+			System:            sys,
+			RunsTotal:         q.Runs.Total,
+			RunsQuarantined:   q.Runs.Quarantined,
+			RunsRepaired:      q.Runs.Repaired,
+			ProbesTotal:       q.Probes.Total,
+			ProbesQuarantined: q.Probes.Quarantined,
+		}
+		for class, n := range q.Runs.ByClass {
+			if j.ByClass == nil {
+				j.ByClass = map[string]int{}
+			}
+			j.ByClass[class] += n
+		}
+		for class, n := range q.Probes.ByClass {
+			if j.ByClass == nil {
+				j.ByClass = map[string]int{}
+			}
+			j.ByClass[class] += n
+		}
+		for _, b := range q.Benchmarks {
+			if b.Unusable {
+				j.UnusableBenchmarks = append(j.UnusableBenchmarks, b.Benchmark)
+			}
+		}
+		resp.Quarantine = append(resp.Quarantine, j)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

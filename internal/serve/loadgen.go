@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -41,6 +43,12 @@ type LoadgenOptions struct {
 	// Timeout bounds each HTTP request (default 2m, generous because
 	// cold requests include model training).
 	Timeout time.Duration
+	// MaxRetries bounds per-request retries after a 503 (the server
+	// shedding load or a breaker being open). Default 3; negative
+	// disables retrying. Retries honor the server's Retry-After header,
+	// falling back to capped exponential backoff, always with jitter so
+	// synchronized clients do not re-stampede the server.
+	MaxRetries int
 }
 
 func (o LoadgenOptions) withDefaults() LoadgenOptions {
@@ -61,6 +69,12 @@ func (o LoadgenOptions) withDefaults() LoadgenOptions {
 	}
 	if o.Timeout <= 0 {
 		o.Timeout = 2 * time.Minute
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
 	}
 	return o
 }
@@ -207,8 +221,30 @@ func loadgenDiscover(ctx context.Context, client *http.Client, opts *LoadgenOpti
 	return nil
 }
 
-// loadgenOnce issues one prediction request and reports whether the
-// server answered from the model cache and how long it took.
+// loadgenBackoff bounds the client-side retry backoff.
+const (
+	loadgenBaseBackoff = 100 * time.Millisecond
+	loadgenMaxBackoff  = 5 * time.Second
+)
+
+// retryDelay computes the wait before retry attempt (0-based), honoring
+// the server's Retry-After header when present, otherwise doubling from
+// the base with a cap, and always adding up to 50% jitter.
+func retryDelay(retryAfter string, attempt int) time.Duration {
+	delay := loadgenBaseBackoff << uint(attempt)
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		delay = time.Duration(secs) * time.Second
+	}
+	if delay > loadgenMaxBackoff {
+		delay = loadgenMaxBackoff
+	}
+	return delay + time.Duration(rand.Int64N(int64(delay)/2+1))
+}
+
+// loadgenOnce issues one prediction request — retrying 503s (shed load
+// or open breakers) with Retry-After-aware capped backoff — and reports
+// whether the server answered from the model cache and how long the
+// successful attempt took.
 func loadgenOnce(ctx context.Context, client *http.Client, endpoint string, opts *LoadgenOptions, bench string) (hit bool, ms float64, err error) {
 	body := PredictRequest{
 		Benchmark:      bench,
@@ -226,25 +262,40 @@ func loadgenOnce(ctx context.Context, client *http.Client, endpoint string, opts
 	if err != nil {
 		return false, 0, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint, bytes.NewReader(buf))
-	if err != nil {
-		return false, 0, err
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint, bytes.NewReader(buf))
+		if err != nil {
+			return false, 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		start := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			return false, 0, err
+		}
+		elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < opts.MaxRetries {
+			retryAfter := resp.Header.Get("Retry-After")
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			select {
+			case <-time.After(retryDelay(retryAfter, attempt)):
+				continue
+			case <-ctx.Done():
+				return false, elapsed, ctx.Err()
+			}
+		}
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			return false, elapsed, fmt.Errorf("loadgen: %s: %s", resp.Status, msg)
+		}
+		var pr PredictResponse
+		decErr := json.NewDecoder(resp.Body).Decode(&pr)
+		resp.Body.Close()
+		if decErr != nil {
+			return false, elapsed, decErr
+		}
+		return pr.Cache == "hit", elapsed, nil
 	}
-	req.Header.Set("Content-Type", "application/json")
-	start := time.Now()
-	resp, err := client.Do(req)
-	if err != nil {
-		return false, 0, err
-	}
-	defer resp.Body.Close()
-	elapsed := float64(time.Since(start)) / float64(time.Millisecond)
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return false, elapsed, fmt.Errorf("loadgen: %s: %s", resp.Status, msg)
-	}
-	var pr PredictResponse
-	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
-		return false, elapsed, err
-	}
-	return pr.Cache == "hit", elapsed, nil
 }

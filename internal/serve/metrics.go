@@ -26,6 +26,9 @@ type Metrics struct {
 	requests *expvar.Map // by "METHOD /path"
 	statuses *expvar.Map // by status code
 	inFlight expvar.Int
+	// saturated counts requests that found the worker pool full on
+	// arrival (whether they eventually got a slot or were shed).
+	saturated expvar.Int
 
 	mu  sync.Mutex
 	lat map[string]*latencyReservoir
@@ -118,15 +121,22 @@ func (m *Metrics) snapshot(pred *core.Predictor, inFlight int64) map[string]any 
 	}
 	m.mu.Unlock()
 	cs := pred.CacheStats()
+	deg := pred.Degraded()
 	return map[string]any{
 		"uptime_seconds": time.Since(m.start).Seconds(),
 		"in_flight":      inFlight,
 		"goroutines":     runtime.NumGoroutine(),
 		"requests":       counts(m.requests),
 		"statuses":       counts(m.statuses),
+		"saturated":      m.saturated.Value(),
 		"cache": map[string]uint64{
 			"hits":   cs.Hits,
 			"misses": cs.Misses,
+		},
+		"degraded": map[string]any{
+			"stale_served":  deg.StaleServed,
+			"knn_served":    deg.KNNServed,
+			"breakers_open": deg.BreakersOpen,
 		},
 		"latency": lat,
 	}

@@ -68,6 +68,7 @@ func New(db *measure.Database, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/predict/uc2", s.instrument("POST /v1/predict/uc2", s.handleUC2))
 	s.mux.HandleFunc("POST /v1/predict/uc1/batch", s.instrument("POST /v1/predict/uc1/batch", s.handleUC1Batch))
 	s.mux.HandleFunc("GET /v1/systems", s.instrument("GET /v1/systems", s.handleSystems))
+	s.mux.HandleFunc("GET /v1/status", s.instrument("GET /v1/status", s.handleStatus))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)

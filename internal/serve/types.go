@@ -99,6 +99,11 @@ type BatchPredictResponse struct {
 	Results        []BatchResultJSON `json:"results"`
 	Cache          string            `json:"cache"`
 	ElapsedMS      float64           `json:"elapsed_ms"`
+
+	// Degraded and Fallback mirror PredictResponse: the whole batch is
+	// served by one model, so they apply to every result.
+	Degraded bool   `json:"degraded,omitempty"`
+	Fallback string `json:"fallback,omitempty"`
 }
 
 // HistogramJSON is a fixed-support histogram of the predicted sample.
@@ -151,12 +156,60 @@ type PredictResponse struct {
 	// request trained it.
 	Cache     string  `json:"cache"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+
+	// Degraded is true when the primary model's fit failed (or its
+	// breaker is open) and a fallback answered; Fallback names the path
+	// ("stale" or "knn").
+	Degraded bool   `json:"degraded,omitempty"`
+	Fallback string `json:"fallback,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx answer.
 type ErrorResponse struct {
 	Error string `json:"error"`
 	Code  int    `json:"code"`
+}
+
+// StatusResponse is the JSON body of GET /v1/status: the server's
+// robustness posture — breaker states, degraded-serving counters, and
+// the ingest-validation quarantine summary per system.
+type StatusResponse struct {
+	// Status is "ok", or "degraded" when any breaker is open.
+	Status string `json:"status"`
+	// BreakersOpen counts breakers open right now; StaleServed and
+	// KNNServed count predictions answered by each fallback path.
+	BreakersOpen int    `json:"breakers_open"`
+	StaleServed  uint64 `json:"stale_served"`
+	KNNServed    uint64 `json:"knn_served"`
+	// Breakers lists every fit breaker the predictor has created.
+	Breakers []BreakerJSON `json:"breakers,omitempty"`
+	// Quarantine summarizes ingest validation per system (only systems
+	// whose datasets have been assembled appear).
+	Quarantine []QuarantineJSON `json:"quarantine,omitempty"`
+}
+
+// BreakerJSON is one fit breaker's state.
+type BreakerJSON struct {
+	Key          string  `json:"key"`
+	Open         bool    `json:"open"`
+	Failures     int     `json:"failures"`
+	Trips        int     `json:"trips"`
+	RetryAfterMS float64 `json:"retry_after_ms,omitempty"`
+	LastError    string  `json:"last_error,omitempty"`
+}
+
+// QuarantineJSON is one system's ingest-validation summary.
+type QuarantineJSON struct {
+	System            string `json:"system"`
+	RunsTotal         int    `json:"runs_total"`
+	RunsQuarantined   int    `json:"runs_quarantined"`
+	RunsRepaired      int    `json:"runs_repaired"`
+	ProbesTotal       int    `json:"probes_total"`
+	ProbesQuarantined int    `json:"probes_quarantined"`
+	// ByClass counts defects by fault class across both run sets.
+	ByClass map[string]int `json:"by_class,omitempty"`
+	// UnusableBenchmarks lists benchmarks excluded from training.
+	UnusableBenchmarks []string `json:"unusable_benchmarks,omitempty"`
 }
 
 // SystemsResponse describes the loaded measurement database.
