@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race lint vet varlint clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint mirrors the CI lint shard: vet plus the repository's own
+# analyzer suite. The findings cache makes warm re-runs near-instant;
+# `make clean` drops it.
+lint: vet varlint
+
+vet:
+	$(GO) vet ./...
+
+varlint:
+	$(GO) run ./cmd/varlint -cache .varlint-cache ./...
+
+clean:
+	rm -rf .varlint-cache

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/measure"
 	"repro/internal/perfsim"
+	"repro/internal/randx"
 	"repro/internal/report"
 )
 
@@ -53,14 +54,14 @@ func main() {
 		db, err = measure.Load(*dbPath)
 	} else {
 		fmt.Printf("collecting campaign: %d runs + %d probes x 60 benchmarks x 2 systems...\n", *runs, *probes)
-		start := time.Now()
+		start := randx.SystemClock()
 		db, err = measure.Collect(
 			[]*perfsim.System{perfsim.NewIntelSystem(), perfsim.NewAMDSystem()},
 			perfsim.TableI(),
 			measure.Config{Runs: *runs, ProbeRuns: *probes, Seed: *seed},
 		)
 		if err == nil {
-			fmt.Printf("campaign collected in %v\n", time.Since(start).Round(time.Millisecond))
+			fmt.Printf("campaign collected in %v\n", randx.SystemClock.Since(start).Round(time.Millisecond))
 		}
 	}
 	if err != nil {
@@ -112,14 +113,14 @@ func main() {
 		if !wanted[id] {
 			continue
 		}
-		start := time.Now()
+		start := randx.SystemClock()
 		result, err := figs[id](db, opts)
 		if err != nil {
 			log.Fatalf("%s: %v", id, err)
 		}
 		text := report.Render(result)
 		fmt.Println(text)
-		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s regenerated in %v)\n\n", id, randx.SystemClock.Since(start).Round(time.Millisecond))
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
 				log.Fatal(err)

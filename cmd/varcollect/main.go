@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/measure"
 	"repro/internal/perfsim"
+	"repro/internal/randx"
 )
 
 func main() {
@@ -35,7 +36,7 @@ func main() {
 	workloads := perfsim.TableI()
 	fmt.Printf("collecting %d runs + %d probes for %d benchmarks on %d systems (seed %d)...\n",
 		*runs, *probes, len(workloads), len(systems), *seed)
-	start := time.Now()
+	start := randx.SystemClock()
 	db, err := measure.Collect(systems, workloads, measure.Config{
 		Runs: *runs, ProbeRuns: *probes, Seed: *seed,
 	})
@@ -45,7 +46,7 @@ func main() {
 	if err := db.Save(*out); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s in %v\n", *out, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("wrote %s in %v\n", *out, randx.SystemClock.Since(start).Round(time.Millisecond))
 	for i := range db.Systems {
 		sd := &db.Systems[i]
 		fmt.Printf("  system %-6s: %d benchmarks x %d runs, %d metrics each\n",

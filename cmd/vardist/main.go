@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"sort"
 
 	"repro/internal/pearson"
@@ -82,6 +83,10 @@ func main() {
 				fit.PType, stats.KSStatistic(rel, fitted))))
 	}
 	qs := stats.Quantiles(rel, []float64{0.01, 0.25, 0.5, 0.75, 0.95, 0.99})
+	tailRatio := math.NaN() // degenerate sample with p50 = 0
+	if qs[2] > 0 {
+		tailRatio = qs[5] / qs[2]
+	}
 	fmt.Println(viz.Table([][]string{
 		{"quantity", "value"},
 		{"mean seconds", fmt.Sprintf("%.3f", bench.Dist.MeanSeconds())},
@@ -93,6 +98,6 @@ func main() {
 		{"Pearson type of (skew, kurt)", ptype},
 		{"p1 / p25 / p50", fmt.Sprintf("%.4f / %.4f / %.4f", qs[0], qs[1], qs[2])},
 		{"p75 / p95 / p99", fmt.Sprintf("%.4f / %.4f / %.4f", qs[3], qs[4], qs[5])},
-		{"p99/p50 (tail ratio)", fmt.Sprintf("%.4f", qs[5]/qs[2])},
+		{"p99/p50 (tail ratio)", fmt.Sprintf("%.4f", tailRatio)},
 	}))
 }

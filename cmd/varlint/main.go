@@ -1,0 +1,92 @@
+// Command varlint runs the repository's custom static-analysis suite —
+// the machine-checked form of the determinism, float-hygiene, error-
+// flow, and concurrency contracts documented in README ("Static
+// analysis").
+//
+// Usage:
+//
+//	go run ./cmd/varlint ./...
+//	go run ./cmd/varlint -cache .varlint-cache ./...
+//	go run ./cmd/varlint -analyzers nondeterminism,floatcheck ./internal/stats
+//	go run ./cmd/varlint -list
+//
+// Exit status: 0 when clean, 1 on findings, 2 on operational errors
+// (including //lint:allow directives without a reason).
+//
+// Suppressions: `//lint:allow <analyzer> <reason>` on the finding's
+// line or the line above. The reason is mandatory. Legacy debt can be
+// parked in the baseline file (-baseline, default varlint.baseline; see
+// -write-baseline), which this repository keeps empty.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("varlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baseline      = fs.String("baseline", "varlint.baseline", "baseline file of tolerated legacy findings (missing file = empty)")
+		writeBaseline = fs.Bool("write-baseline", false, "rewrite the baseline with the current findings and exit 0")
+		cacheDir      = fs.String("cache", "", "directory for the per-package findings cache (empty = no cache)")
+		names         = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list          = fs.Bool("list", false, "list the analyzers and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	suite := lint.Suite()
+	if *list {
+		for _, a := range suite {
+			_, _ = fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *names != "" {
+		byName := make(map[string]*analysis.Analyzer, len(suite))
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(*names, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				_, _ = fmt.Fprintf(stderr, "varlint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		suite = picked
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := lint.Run(stdout, patterns, lint.Config{
+		Analyzers:     suite,
+		Baseline:      *baseline,
+		CacheDir:      *cacheDir,
+		WriteBaseline: *writeBaseline,
+	})
+	if err != nil {
+		_, _ = fmt.Fprintf(stderr, "varlint: %v\n", err)
+		return 2
+	}
+	if n > 0 {
+		_, _ = fmt.Fprintf(stderr, "varlint: %d finding(s)\n", n)
+		return 1
+	}
+	return 0
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/measure"
 	"repro/internal/perfsim"
+	"repro/internal/randx"
 	"repro/internal/serve"
 )
 
@@ -81,14 +82,14 @@ func main() {
 		RequestTimeout: *timeout,
 	})
 	if *warm {
-		warmStart := time.Now()
+		warmStart := randx.SystemClock()
 		if err := srv.Predictor().Warm(
 			[]core.UC1Config{{NumSamples: 10, Seed: 1}},
 			[]core.UC2Config{{Seed: 1}},
 		); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("warmed default models in %v", time.Since(warmStart).Round(time.Millisecond))
+		log.Printf("warmed default models in %v", randx.SystemClock.Since(warmStart).Round(time.Millisecond))
 	}
 
 	if *loadgen {
@@ -130,7 +131,7 @@ func loadDatabase(path string, runs int, seed uint64) *measure.Database {
 		return db
 	}
 	log.Printf("no -db given; collecting an on-the-fly campaign (%d runs per benchmark)...", runs)
-	start := time.Now()
+	start := randx.SystemClock()
 	db, err := measure.Collect(
 		[]*perfsim.System{perfsim.NewIntelSystem(), perfsim.NewAMDSystem()},
 		perfsim.TableI(),
@@ -139,7 +140,7 @@ func loadDatabase(path string, runs int, seed uint64) *measure.Database {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("collected in %v", time.Since(start).Round(time.Millisecond))
+	log.Printf("collected in %v", randx.SystemClock.Since(start).Round(time.Millisecond))
 	return db
 }
 

@@ -78,7 +78,7 @@ type Predictor struct {
 
 // NewPredictor wraps a loaded measurement database in an empty cache.
 func NewPredictor(db *measure.Database) *Predictor {
-	return &Predictor{db: db, now: time.Now}
+	return &Predictor{db: db, now: randx.SystemClock}
 }
 
 // DB exposes the underlying database (read-only by convention).
@@ -203,10 +203,11 @@ func (p *Predictor) Refresh() {
 	p.models.Range(func(key, value any) bool {
 		c := value.(*modelCell)
 		c.mu.Lock()
-		if c.fitted != nil {
-			p.stale.Store(key, c.fitted)
-		}
+		fitted := c.fitted
 		c.mu.Unlock()
+		if fitted != nil {
+			p.stale.Store(key, fitted)
+		}
 		p.models.Delete(key)
 		return true
 	})

@@ -40,6 +40,7 @@ func (q *QuantileRep) Dim() int { return q.K }
 func (q *QuantileRep) probes() []float64 {
 	out := make([]float64, q.K)
 	for i := range out {
+		//lint:allow floatcheck the division runs only inside a loop over make([]float64, q.K), so K >= 1 here
 		out[i] = (float64(i) + 0.5) / float64(q.K)
 	}
 	return out

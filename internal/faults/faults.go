@@ -224,6 +224,7 @@ func paretoFactor(rng *randx.RNG, alpha float64) float64 {
 	for u == 0 {
 		u = rng.Float64()
 	}
+	//lint:allow floatcheck Config defaulting pins StragglerAlpha to 1.5 when non-positive before any draw
 	return math.Pow(u, -1/alpha)
 }
 

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// findingCache persists per-package post-suppression findings keyed by
+// a content hash of the package, its module-internal dependency
+// closure, the analyzer set, and the Go version. A warm cache turns the
+// lint pass for an unchanged package into one JSON read — no parsing,
+// no type-checking — which is what keeps the CI lint shard under a
+// minute (the CI workflow restores the directory across runs).
+//
+// Suppression comments live in the hashed files, so cached findings are
+// exactly what a fresh run would produce. Packages whose directives are
+// malformed are never cached: the error must resurface every run.
+type findingCache struct {
+	dir       string
+	loader    *load.Loader
+	analyzers []*analysis.Analyzer
+	hashes    map[string]string // path -> content hash (memo)
+}
+
+func newFindingCache(dir string, loader *load.Loader, analyzers []*analysis.Analyzer) *findingCache {
+	return &findingCache{dir: dir, loader: loader, analyzers: analyzers, hashes: make(map[string]string)}
+}
+
+// file returns the cache entry path for a package, or "" when hashing
+// failed (unreadable file mid-edit: treat as a miss).
+func (c *findingCache) file(m *load.Meta) string {
+	h, err := hashPackage(c.loader, m, c.analyzers, c.hashes)
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(c.dir, h[:2], h[2:]+".json")
+}
+
+func (c *findingCache) get(m *load.Meta) ([]Finding, bool) {
+	path := c.file(m)
+	if path == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var fs []Finding
+	if err := json.Unmarshal(data, &fs); err != nil {
+		return nil, false // corrupt entry: recompute and overwrite
+	}
+	return fs, true
+}
+
+func (c *findingCache) put(m *load.Meta, fs []Finding) {
+	path := c.file(m)
+	if path == "" {
+		return
+	}
+	if fs == nil {
+		fs = []Finding{}
+	}
+	data, err := json.Marshal(fs)
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	// Best-effort cache: a failed write just means a cold entry.
+	_ = os.WriteFile(path, data, 0o644)
+}

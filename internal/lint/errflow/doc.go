@@ -1,0 +1,19 @@
+// Package errflow enforces the repository's error discipline along the
+// measure → fit → serve pipeline, where a swallowed or stringified
+// error turns into a silently wrong model:
+//
+//   - Dropped errors: a call whose (last) result is an error used as a
+//     bare expression statement discards the failure. `_ = f()` is an
+//     explicit, visible discard and stays legal, as do deferred
+//     cleanups (the Close convention) and goroutine bodies.
+//   - Stringified wrapping: fmt.Errorf with an error argument but no %w
+//     verb flattens the chain, so errors.Is can no longer match
+//     sentinels like ErrBenchmarkQuarantined behind it.
+//   - Sentinel comparison: err == ErrX (or !=) bypasses unwrapping;
+//     errors.Is is the sanctioned comparison. Comparisons against nil
+//     are fine, and the bodies of `Is(error) bool` methods are exempt —
+//     the == inside them is the errors.Is protocol itself.
+//
+// Findings are suppressed with `//lint:allow errflow <reason>` on the
+// finding's line or the line above; the reason is mandatory.
+package errflow

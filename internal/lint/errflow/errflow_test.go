@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/errflow"
+	"repro/internal/lint/linttest"
+)
+
+func TestFlagged(t *testing.T) {
+	linttest.Run(t, errflow.Analyzer, "testdata/flag", "example.com/a")
+}

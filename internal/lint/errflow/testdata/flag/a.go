@@ -1,0 +1,58 @@
+// Positive and negative cases for the errflow analyzer.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func mayFail() error { return errSentinel }
+
+func dropped() {
+	mayFail() // want "mayFail returns an error that is silently dropped"
+}
+
+func discarded() {
+	_ = mayFail() // explicit discard is legal
+}
+
+func closed(f *os.File) {
+	f.Close() // Close convention: teardown errors are unactionable here
+}
+
+func printed(b *strings.Builder) {
+	fmt.Fprintf(b, "builders never fail")
+	fmt.Println("stdout convention")
+	b.WriteString("builder methods are infallible")
+}
+
+func wrapBad(err error) error {
+	return fmt.Errorf("fit failed: %v", err) // want "without %w"
+}
+
+func wrapGood(err error) error {
+	return fmt.Errorf("fit failed: %w", err)
+}
+
+func cmpBad(err error) bool {
+	return err == errSentinel // want "error compared with =="
+}
+
+func cmpGood(err error) bool {
+	return errors.Is(err, errSentinel)
+}
+
+func cmpNil(err error) bool {
+	return err != nil // nil checks stay legal
+}
+
+type wrapped struct{ inner error }
+
+func (w *wrapped) Error() string { return w.inner.Error() }
+
+// Is implements the errors.Is protocol; the == here IS the protocol.
+func (w *wrapped) Is(target error) bool { return target == errSentinel }

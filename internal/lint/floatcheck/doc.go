@@ -1,0 +1,25 @@
+// Package floatcheck enforces the repository's float hygiene — the
+// habits that keep NaN and Inf from leaking into fitted models and
+// report tables:
+//
+//   - Unchecked division: a float division whose divisor the enclosing
+//     function never validates (no comparison, no math.IsNaN/IsInf/Abs
+//     probe, no loop-length guard) is flagged. Validation is textual
+//     and function-scoped — the analyzer forces *a* guard into the
+//     function rather than proving dominance.
+//   - NaN factories: math.Log, Log2, Log10, and Sqrt mint NaN from
+//     negative inputs; calls on unvalidated arguments are flagged.
+//   - Float equality: == / != between two computed float expressions is
+//     almost always a rounding bug. Comparisons against literals and
+//     sentinel probes stay legal.
+//   - Bare summation: `sum += v` accumulation loops over float slices
+//     lose low-order bits in a length- and order-dependent way; the
+//     compensated numeric.Sum / numeric.Mean / numeric.Accumulator
+//     helpers are the sanctioned form. Elementwise vector adds
+//     (`out[j] += v`) are not summations and are not flagged.
+//
+// Findings are suppressed with `//lint:allow floatcheck <reason>` on
+// the finding's line or the line above; the reason is mandatory and
+// should name the constructor or validator that enforces the invariant
+// the analyzer cannot see.
+package floatcheck

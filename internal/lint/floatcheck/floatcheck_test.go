@@ -1,0 +1,12 @@
+package floatcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/floatcheck"
+	"repro/internal/lint/linttest"
+)
+
+func TestFlagged(t *testing.T) {
+	linttest.Run(t, floatcheck.Analyzer, "testdata/flag", "example.com/a")
+}

@@ -1,0 +1,87 @@
+// Positive and negative cases for the floatcheck analyzer.
+package a
+
+import "math"
+
+func div(a, b float64) float64 {
+	return a / b // want "division by b"
+}
+
+func divGuarded(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func divByConst(a float64) float64 {
+	return a / 2
+}
+
+func logUnchecked(x float64) float64 {
+	return math.Log(x) // want "math.Log"
+}
+
+func logChecked(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(x)
+}
+
+func sqrtOfSquare(x float64) float64 {
+	return math.Sqrt(x * x) // non-negative by construction
+}
+
+func eq(a, b float64) bool {
+	return a == b // want "bitwise float comparison"
+}
+
+func nanProbe(x float64) bool {
+	return x != x // the canonical NaN check
+}
+
+func eqConst(x float64) bool {
+	return x == 0 // sentinel comparison against a constant
+}
+
+type byVal []float64
+
+func (s byVal) Len() int      { return len(s) }
+func (s byVal) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+
+// Less needs exact comparison for a strict weak ordering; a tolerance
+// here would corrupt sorting.
+func (s byVal) Less(i, j int) bool {
+	if s[i] == s[j] {
+		return i < j
+	}
+	return s[i] < s[j]
+}
+
+func bareSum(xs []float64) float64 {
+	var s float64
+	for _, v := range xs { // want "bare float summation loop"
+		s += v
+	}
+	return s
+}
+
+func vecAdd(rows [][]float64, out []float64) {
+	for _, r := range rows {
+		for j, v := range r {
+			out[j] += v // elementwise vector add, not a scalar reduction
+		}
+	}
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var total float64
+	for i := range xs {
+		total += xs[i]
+	}
+	return total / float64(len(xs)) // len(xs) > 0 was checked above
+}

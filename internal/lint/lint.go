@@ -1,0 +1,247 @@
+// Package lint is the varlint driver: it loads packages, runs the
+// analyzer suite, applies //lint:allow suppressions, subtracts the
+// baseline, and renders findings.
+//
+// The suite machine-checks the invariants this repository's results
+// rest on — bit-reproducible randomness and clocks (nondeterminism),
+// NaN-free numerics (floatcheck), wrapped error chains (errflow), and
+// copy-free, branch-safe locking plus pooled goroutines (lockcheck).
+// See README "Static analysis" for the policy and cmd/varlint for the
+// CLI.
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/errflow"
+	"repro/internal/lint/floatcheck"
+	"repro/internal/lint/load"
+	"repro/internal/lint/lockcheck"
+	"repro/internal/lint/nondeterminism"
+)
+
+// Suite is the default analyzer set, in report order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		nondeterminism.Analyzer,
+		floatcheck.Analyzer,
+		errflow.Analyzer,
+		lockcheck.Analyzer,
+	}
+}
+
+// Config tunes one Run.
+type Config struct {
+	// Analyzers is the suite to run (default: Suite()).
+	Analyzers []*analysis.Analyzer
+	// Dir is the module root to run `go list` in ("" = cwd).
+	Dir string
+	// Baseline is the path of the baseline file; missing files mean an
+	// empty baseline. Entries match findings by package, analyzer, and
+	// message (not line numbers, so unrelated edits do not churn it).
+	Baseline string
+	// CacheDir, when non-empty, caches per-package post-suppression
+	// findings keyed by the content hash of the package and its
+	// module-internal dependencies, so unchanged packages skip parsing
+	// and type-checking entirely.
+	CacheDir string
+	// WriteBaseline rewrites Baseline with the current findings instead
+	// of failing on them.
+	WriteBaseline bool
+}
+
+// Finding is one rendered diagnostic.
+type Finding struct {
+	Pkg      string `json:"pkg"`
+	File     string `json:"file"` // path relative to the package dir
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// key is the baseline identity of a finding: stable across line-number
+// churn.
+func (f Finding) key() string { return f.Pkg + " :: " + f.Analyzer + " :: " + f.Message }
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s/%s:%d:%d: %s: %s", f.Pkg, f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Run executes the suite over the packages matching patterns, printing
+// findings to w. It returns the number of unsuppressed, non-baselined
+// findings; err is reserved for operational failures (load errors,
+// malformed directives, unreadable baseline).
+func Run(w io.Writer, patterns []string, cfg Config) (int, error) {
+	analyzers := cfg.Analyzers
+	if len(analyzers) == 0 {
+		analyzers = Suite()
+	}
+	loader, err := load.New(cfg.Dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	var cache *findingCache
+	if cfg.CacheDir != "" {
+		cache = newFindingCache(cfg.CacheDir, loader, analyzers)
+	}
+
+	var all []Finding
+	var directiveErrs []string
+	for _, m := range loader.Metas() {
+		if strings.Contains(m.Path, "/lint/") && strings.Contains(m.Dir, "testdata") {
+			continue
+		}
+		if cache != nil {
+			if fs, ok := cache.get(m); ok {
+				all = append(all, fs...)
+				continue
+			}
+		}
+		fs, derrs, err := analyzePackage(loader, m, analyzers)
+		if err != nil {
+			return 0, err
+		}
+		directiveErrs = append(directiveErrs, derrs...)
+		all = append(all, fs...)
+		if cache != nil && len(derrs) == 0 {
+			cache.put(m, fs)
+		}
+	}
+	if len(directiveErrs) > 0 {
+		return 0, fmt.Errorf("malformed //lint:allow directives (a reason is mandatory):\n  %s", strings.Join(directiveErrs, "\n  "))
+	}
+
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Message < b.Message
+	})
+
+	if cfg.WriteBaseline {
+		if err := writeBaseline(cfg.Baseline, all); err != nil {
+			return 0, err
+		}
+		_, _ = fmt.Fprintf(w, "varlint: wrote %d finding(s) to %s\n", len(all), cfg.Baseline)
+		return 0, nil
+	}
+
+	baseline, err := readBaseline(cfg.Baseline)
+	if err != nil {
+		return 0, err
+	}
+	kept := all[:0]
+	for _, f := range all {
+		if baseline[f.key()] > 0 {
+			baseline[f.key()]--
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for _, f := range kept {
+		_, _ = fmt.Fprintln(w, f.String())
+	}
+	return len(kept), nil
+}
+
+// analyzePackage type-checks one package and runs every analyzer,
+// returning post-suppression findings plus any malformed-directive
+// errors.
+func analyzePackage(loader *load.Loader, m *load.Meta, analyzers []*analysis.Analyzer) ([]Finding, []string, error) {
+	pkg, err := loader.Check(m.Path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      loader.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, nil, fmt.Errorf("lint: %s on %s: %w", a.Name, m.Path, err)
+		}
+	}
+	kept, derrs := FilterSuppressed(loader.Fset, pkg.Files, diags)
+	var out []Finding
+	for _, d := range kept {
+		pos := loader.Fset.Position(d.Pos)
+		file, err := filepath.Rel(m.Dir, pos.Filename)
+		if err != nil {
+			file = filepath.Base(pos.Filename)
+		}
+		out = append(out, Finding{
+			Pkg:      m.Path,
+			File:     file,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return out, derrs, nil
+}
+
+// hashPackage computes the cache identity of a package: its own file
+// contents plus the recursive hash of every module-internal import,
+// the analyzer names, and the Go version.
+func hashPackage(loader *load.Loader, m *load.Meta, analyzers []*analysis.Analyzer, memo map[string]string) (string, error) {
+	if h, ok := memo[m.Path]; ok {
+		return h, nil
+	}
+	memo[m.Path] = "" // cycle guard; package cycles cannot compile anyway
+	h := sha256.New()
+	_, _ = fmt.Fprintf(h, "go=%s\n", runtime.Version())
+	for _, a := range analyzers {
+		_, _ = fmt.Fprintf(h, "analyzer=%s\n", a.Name)
+	}
+	for _, name := range m.GoFiles {
+		data, err := os.ReadFile(filepath.Join(m.Dir, name))
+		if err != nil {
+			return "", err
+		}
+		_, _ = fmt.Fprintf(h, "file=%s len=%d\n", name, len(data))
+		_, _ = h.Write(data)
+	}
+	byPath := make(map[string]*load.Meta)
+	for _, mm := range loader.Metas() {
+		byPath[mm.Path] = mm
+	}
+	imports := append([]string(nil), m.Imports...)
+	sort.Strings(imports)
+	for _, imp := range imports {
+		dep, ok := byPath[imp]
+		if !ok {
+			continue // standard library: covered by the Go version
+		}
+		dh, err := hashPackage(loader, dep, analyzers, memo)
+		if err != nil {
+			return "", err
+		}
+		_, _ = fmt.Fprintf(h, "dep=%s hash=%s\n", imp, dh)
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	memo[m.Path] = sum
+	return sum, nil
+}

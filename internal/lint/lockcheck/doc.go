@@ -1,0 +1,25 @@
+// Package lockcheck enforces the concurrency discipline the serving
+// and training paths rely on:
+//
+//   - No copied locks: value receivers, value parameters, assignments,
+//     and range values whose type (transitively, through struct and
+//     array composition) carries a sync.Mutex, RWMutex, WaitGroup,
+//     Once, Cond, Map, or Pool are flagged — every copy forks the lock
+//     state. Pointer fields stop the walk, fresh composite literals and
+//     constructor results hand over never-locked values, and blank
+//     discards retain no copy.
+//   - Lock/Unlock shape: after a Lock or RLock, the critical section
+//     must either be straight-line code ending in the matching release,
+//     or be covered by a deferred release. A branch, loop, return, or
+//     go statement between Lock and a non-deferred Unlock means one
+//     early return or panic strands the lock.
+//   - No raw goroutines in server paths: in packages matched by
+//     ServerPathPattern (internal/serve, internal/core), `go` statements
+//     must fan out through internal/parallel so concurrency stays
+//     bounded and first-error semantics hold. Lifecycle goroutines that
+//     are genuinely outside request work carry a //lint:allow with the
+//     justification.
+//
+// Findings are suppressed with `//lint:allow lockcheck <reason>` on the
+// finding's line or the line above; the reason is mandatory.
+package lockcheck

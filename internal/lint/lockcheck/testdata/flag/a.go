@@ -1,0 +1,59 @@
+// Positive and negative cases for the lockcheck analyzer in an
+// ordinary (non-server) package: the lock-copy and lock-discipline
+// rules apply, the raw-goroutine rule does not.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValue(c counter) int { // want "passes a lock-bearing"
+	return c.n
+}
+
+func byPointer(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func copyAssign(c *counter) {
+	d := *c // want "copies lock-bearing value d"
+	_ = d
+}
+
+func rangeCopy(cs []counter) int {
+	total := 0
+	for _, c := range cs { // want "range value c copies a lock-bearing"
+		total += c.n
+	}
+	return total
+}
+
+func branchy(c *counter, cond bool) {
+	c.mu.Lock() // want "critical section branches"
+	if cond {
+		c.n++
+	}
+	c.mu.Unlock()
+}
+
+func leaky(c *counter) {
+	c.mu.Lock() // want "has no matching Unlock"
+	c.n++
+}
+
+func straight(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func goOutsideServer(done chan struct{}) {
+	go func() { // raw goroutines are legal outside server paths
+		done <- struct{}{}
+	}()
+}

@@ -1,0 +1,10 @@
+// In a package whose import path matches ServerPathPattern, raw `go`
+// statements are forbidden: request-path concurrency must go through
+// the bounded pool.
+package serve
+
+func spawn(done chan struct{}) {
+	go func() { // want "raw goroutine in a server path"
+		done <- struct{}{}
+	}()
+}

@@ -1,0 +1,10 @@
+// A directive without a reason is malformed: it must be reported as an
+// error and must NOT suppress the finding it covers.
+package s
+
+import "time"
+
+func stamp() time.Time {
+	//lint:allow nondeterminism
+	return time.Now()
+}

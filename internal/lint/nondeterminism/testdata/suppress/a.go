@@ -1,0 +1,14 @@
+// A well-formed //lint:allow directive (analyzer plus reason) silences
+// the finding on the next line.
+package s
+
+import "time"
+
+func stamp() time.Time {
+	//lint:allow nondeterminism process start stamp is wall-clock by design
+	return time.Now()
+}
+
+func stampSameLine() time.Time {
+	return time.Now() //lint:allow nondeterminism report header carries real time on purpose
+}

@@ -227,6 +227,7 @@ func ReconstructStandardized(mu []float64, lo, hi float64, opts *Options) (*Dens
 
 // At evaluates the reconstructed density at data-space point x.
 func (d *Density) At(x float64) float64 {
+	//lint:allow floatcheck Fit rejects non-positive Std and the internal solver sets Std = 1
 	z := (x - d.Mean) / d.Std
 	if z < d.Lo || z > d.Hi {
 		return 0
@@ -235,6 +236,7 @@ func (d *Density) At(x float64) float64 {
 	for j := len(d.Lambda) - 2; j >= 0; j-- {
 		e = e*z + d.Lambda[j]
 	}
+	//lint:allow floatcheck Fit rejects non-positive Std and the internal solver sets Std = 1
 	return math.Exp(e) / d.Std
 }
 

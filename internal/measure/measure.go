@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/numeric"
 	"repro/internal/perfsim"
 	"repro/internal/randx"
 )
@@ -37,11 +38,11 @@ func (b *BenchmarkData) RelTimes() []float64 {
 	if len(secs) == 0 {
 		return nil
 	}
-	mean := 0.0
-	for _, s := range secs {
-		mean += s
+	mean := numeric.Mean(secs)
+	if mean <= 0 {
+		// All-zero (or pathological) timings: nothing to normalize by.
+		return nil
 	}
-	mean /= float64(len(secs))
 	out := make([]float64, len(secs))
 	for i, s := range secs {
 		out[i] = s / mean

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/ml"
 	"repro/internal/ml/tree"
+	"repro/internal/numeric"
 	"repro/internal/parallel"
 	"repro/internal/randx"
 )
@@ -114,10 +115,7 @@ func (f *Regressor) FeatureImportance() []float64 {
 			out[i] += v
 		}
 	}
-	var total float64
-	for _, v := range out {
-		total += v
-	}
+	total := numeric.Sum(out)
 	if total <= 0 {
 		return make([]float64, len(out))
 	}

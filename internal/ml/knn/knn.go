@@ -130,6 +130,7 @@ func (r *Regressor) distance(a, b []float64) float64 {
 			d := a[i] - b[i]
 			s += d * d
 		}
+		//lint:allow floatcheck s is a sum of squares, so it is always >= 0
 		return math.Sqrt(s)
 	}
 }
@@ -196,6 +197,9 @@ func (r *Regressor) Predict(x []float64) []float64 {
 		for j, v := range r.y[n.idx] {
 			out[j] += w * v
 		}
+	}
+	if wsum <= 0 {
+		return out // no neighbors contributed weight
 	}
 	for j := range out {
 		out[j] /= wsum

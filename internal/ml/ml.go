@@ -3,6 +3,8 @@ package ml
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/numeric"
 )
 
 // Dataset is a design matrix X (rows = examples, columns = features)
@@ -149,11 +151,7 @@ func R2(pred, want []float64) float64 {
 	if len(want) == 0 {
 		return 0
 	}
-	var mean float64
-	for _, w := range want {
-		mean += w
-	}
-	mean /= float64(len(want))
+	mean := numeric.Mean(want)
 	var ssRes, ssTot float64
 	for i := range want {
 		d := want[i] - pred[i]

@@ -58,6 +58,7 @@ func (s *StandardScaler) Transform(x []float64) []float64 {
 	}
 	out := make([]float64, len(x))
 	for j, v := range x {
+		//lint:allow floatcheck FitScaler pins zero-variance columns to scale 1, so every divisor is positive
 		out[j] = (v - s.Means[j]) / s.Scales[j]
 	}
 	return out

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/ml"
+	"repro/internal/numeric"
 	"repro/internal/randx"
 )
 
@@ -68,10 +69,7 @@ type Tree struct {
 // single leaf). The slice is a copy.
 func (t *Tree) FeatureImportance() []float64 {
 	out := make([]float64, len(t.importance))
-	var total float64
-	for _, v := range t.importance {
-		total += v
-	}
+	total := numeric.Sum(t.importance)
 	if total <= 0 {
 		return out
 	}

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"repro/internal/ml"
+	"repro/internal/numeric"
 	"repro/internal/parallel"
 	"repro/internal/randx"
 )
@@ -124,11 +125,7 @@ func (x *Regressor) Fit(d *ml.Dataset) error {
 		for i := range y {
 			y[i] = d.Y[i][out]
 		}
-		var base float64
-		for _, v := range y {
-			base += v
-		}
-		base /= float64(n)
+		base := numeric.Mean(y)
 		baseScore[out] = base
 
 		pred := make([]float64, n)

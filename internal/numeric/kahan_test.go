@@ -1,0 +1,67 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSumCompensation is the case naive summation gets wrong: the unit
+// addend vanishes into 1e16, so a bare loop returns 0 or 2 depending on
+// order. Neumaier compensation recovers the exact answer either way.
+func TestSumCompensation(t *testing.T) {
+	cases := [][]float64{
+		{1e16, 1, -1e16},
+		{1, 1e16, -1e16},
+		{-1e16, 1e16, 1},
+	}
+	for _, xs := range cases {
+		if got := Sum(xs); got != 1 {
+			t.Errorf("Sum(%v) = %v, want exactly 1", xs, got)
+		}
+	}
+}
+
+func TestSumAgainstExact(t *testing.T) {
+	// n copies of 0.1: the exact decimal answer is n/10, which float64
+	// naive accumulation drifts away from while the compensated sum
+	// stays within one ulp.
+	const n = 1_000_000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 0.1
+	}
+	got := Sum(xs)
+	want := float64(n) / 10
+	if math.Abs(got-want) > want*1e-15 {
+		t.Fatalf("Sum of %d x 0.1 = %.17g, want %.17g", n, got, want)
+	}
+}
+
+func TestSumEmptyAndSingle(t *testing.T) {
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v", got)
+	}
+	if got := Sum([]float64{math.Pi}); got != math.Pi {
+		t.Errorf("Sum([pi]) = %v", got)
+	}
+}
+
+func TestAccumulatorMatchesSum(t *testing.T) {
+	xs := []float64{1e-9, 3.5, -2, 1e12, 0.25, -1e12, 7}
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	if got, want := a.Sum(), Sum(xs); got != want {
+		t.Fatalf("Accumulator = %v, Sum = %v", got, want)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+}

@@ -191,6 +191,7 @@ func Norm2(x []float64) float64 {
 	for _, v := range x {
 		s += v * v
 	}
+	//lint:allow floatcheck s is a sum of squares, so it is always >= 0
 	return math.Sqrt(s)
 }
 

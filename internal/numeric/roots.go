@@ -47,6 +47,7 @@ func Brent(f func(float64) float64, a, b, tol float64, maxIter int) (float64, er
 			// Attempt inverse quadratic interpolation.
 			s := fb / fa
 			var p, q float64
+			//lint:allow floatcheck Brent's method branches on exact a == c to pick secant vs inverse quadratic; a tolerance here is wrong
 			if a == c {
 				p = 2 * xm * s
 				q = 1 - s
@@ -62,6 +63,7 @@ func Brent(f func(float64) float64, a, b, tol float64, maxIter int) (float64, er
 			p = math.Abs(p)
 			if 2*p < math.Min(3*xm*q-math.Abs(tol1*q), math.Abs(e*q)) {
 				e = d
+				//lint:allow floatcheck the 2p < min(3·xm·q − |tol1·q|, |e·q|) acceptance test above already implies q != 0
 				d = p / q
 			} else {
 				d = xm

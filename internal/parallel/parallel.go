@@ -70,11 +70,11 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 	)
 	abort := func(err error) {
 		mu.Lock()
+		defer mu.Unlock()
 		if firstErr == nil {
 			firstErr = err
 			cancel()
 		}
-		mu.Unlock()
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {

@@ -104,6 +104,7 @@ func gammaPDFShifted(shape, scale, mean, sd float64) func(float64) float64 {
 		if x <= 0 {
 			return 0
 		}
+		//lint:allow floatcheck the type III fitter only constructs this closure with positive shape and scale
 		logp := (shape-1)*math.Log(x) - x/scale - lg - shape*math.Log(scale)
 		return math.Exp(logp) * sd
 	}
@@ -121,6 +122,7 @@ func invGammaPDFShifted(alpha, b, mean, sd float64, flip bool) func(float64) flo
 		if u <= 0 {
 			return 0
 		}
+		//lint:allow floatcheck the type V fitter only constructs this closure with positive alpha and b
 		logp := alpha*math.Log(b) - (alpha+1)*math.Log(u) - b/u - lg
 		return math.Exp(logp) * sd
 	}
@@ -132,11 +134,13 @@ func betaPrimePDFOn(p, q, a2, span, mean, sd float64) func(float64) float64 {
 	lb := logBeta(p, q)
 	return func(z float64) float64 {
 		x := mean + sd*z // position in the shifted frame
+		//lint:allow floatcheck the type VI fitter only constructs this closure with positive span
 		y := (x - a2) / span
 		if y <= 0 {
 			return 0
 		}
 		logp := (p-1)*math.Log(y) - (p+q)*math.Log(1+y) - lb
+		//lint:allow floatcheck the type VI fitter only constructs this closure with positive span
 		return math.Exp(logp) / span * sd
 	}
 }
@@ -147,8 +151,11 @@ func studentTPDF(nu, scale float64) func(float64) float64 {
 	lgNu, _ := math.Lgamma(nu / 2)
 	logC := lgHalf - lgNu - 0.5*math.Log(nu*math.Pi)
 	return func(z float64) float64 {
+		//lint:allow floatcheck the type VII fitter only constructs this closure with nu > 0 and scale > 0
 		t := z / scale
+		//lint:allow floatcheck the type VII fitter only constructs this closure with nu > 0 and scale > 0
 		logp := logC - (nu+1)/2*math.Log1p(t*t/nu)
+		//lint:allow floatcheck the type VII fitter only constructs this closure with nu > 0 and scale > 0
 		return math.Exp(logp) / scale
 	}
 }

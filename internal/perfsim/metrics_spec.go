@@ -212,6 +212,7 @@ func specFor(name string) metricSpec {
 	case "stalled-cycles-frontend", "ic_fetch_stall.ic_stall_any":
 		return metricSpec{kind: timeKind, rate: func(r *rateSet) float64 { return r.stallFront }, noise: 0.02, modeSens: 0.2}
 	case "topdown.backend_bound_slots":
+		//lint:allow floatcheck r.cycles = activeCores(>=1) * FreqGHz(>0 in the static system specs) * 1e9
 		return metricSpec{kind: timeKind, rate: func(r *rateSet) float64 { return r.stallBack * r.slots / r.cycles * 0.8 }, noise: 0.02, modeSens: 0.8}
 	case "resource_stalls.sb":
 		return metricSpec{kind: timeKind, rate: func(r *rateSet) float64 { return r.sbStall }, noise: 0.03, modeSens: 0.4}

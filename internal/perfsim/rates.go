@@ -71,6 +71,7 @@ func buildRates(w Workload, s *System) *rateSet {
 	r.activeCores = math.Max(1, w.Parallelism*float64(s.Cores))
 
 	// Cache-fit ratios: how badly the working set overflows each level.
+	//lint:allow floatcheck r.activeCores is math.Max(1, ...) one line above, so it is >= 1
 	perCoreWS := w.WorkingSetMB / r.activeCores
 	fitL1 := perCoreWS / (perCoreWS + s.L1KB/1024)
 	fitL2 := perCoreWS / (perCoreWS + s.L2KB/1024)

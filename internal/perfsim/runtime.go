@@ -53,6 +53,7 @@ func speedFactor(w Workload, s *System) float64 {
 	cShare := w.Compute / total
 	mShare := effMem / total
 	// Weighted harmonic combination of the two throughput scales.
+	//lint:allow floatcheck ComputeScale and MemBWScale come from the static system spec tables, all positive
 	return cShare/s.ComputeScale + mShare/s.MemBWScale
 }
 
@@ -150,6 +151,7 @@ func (d *RuntimeDist) MeanSeconds() float64 {
 		wsum += m.Weight
 		acc += m.Weight * m.Center * math.Exp(m.Sigma*m.Sigma/2)
 	}
+	//lint:allow floatcheck mode weights are positive by construction in NewRuntimeDist, so wsum > 0
 	return d.BaseSeconds * acc / wsum
 }
 
@@ -169,6 +171,7 @@ func (d *RuntimeDist) Sample(rng *randx.RNG) (float64, RunLatent) {
 		for u == 0 {
 			u = rng.Float64()
 		}
+		//lint:allow floatcheck NewRuntimeDist sets TailAlpha to a positive constant
 		e := d.TailScale * (math.Pow(u, -1/d.TailAlpha) - 1)
 		// Straggler excursions are bounded in practice (timeouts,
 		// retries, scheduler preemption horizons).

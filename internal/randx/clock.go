@@ -1,0 +1,41 @@
+package randx
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock is the project's time source abstraction. Production edges read
+// the wall clock through SystemClock; everything else receives a Clock
+// (or a SetClock lever) so that latency accounting, breaker backoff,
+// and timing-dependent behavior replay deterministically in tests.
+//
+// The nondeterminism analyzer forbids direct time.Now/Since/Until calls
+// outside this package; a Clock value is the sanctioned replacement.
+type Clock func() time.Time
+
+// SystemClock is the wall clock — the single sanctioned escape hatch
+// to ambient time, for process edges (CLI stopwatches, request latency
+// measurement) where real time is the point.
+var SystemClock Clock = time.Now
+
+// Since returns the elapsed time between t and the clock's current
+// reading (the Clock-aware replacement for time.Since).
+func (c Clock) Since(t time.Time) time.Duration { return c().Sub(t) }
+
+// FixedClock returns a Clock frozen at t.
+func FixedClock(t time.Time) Clock {
+	return func() time.Time { return t }
+}
+
+// StepClock returns a Clock that reads start, start+step, start+2·step,
+// … on successive calls: virtual time that advances only when observed,
+// so timing-dependent logic (backoff schedules, uptime accounting)
+// replays identically on every run. The returned Clock is safe for
+// concurrent use; concurrent readers draw distinct, monotone readings.
+func StepClock(start time.Time, step time.Duration) Clock {
+	var n atomic.Int64
+	return func() time.Time {
+		return start.Add(time.Duration(n.Add(1)-1) * step)
+	}
+}

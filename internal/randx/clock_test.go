@@ -1,0 +1,66 @@
+package randx
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFixedClock(t *testing.T) {
+	t0 := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	c := FixedClock(t0)
+	if !c().Equal(t0) || !c().Equal(t0) {
+		t.Fatal("FixedClock drifted")
+	}
+	if d := c.Since(t0.Add(-time.Minute)); d != time.Minute {
+		t.Fatalf("Since = %v, want 1m", d)
+	}
+}
+
+func TestStepClock(t *testing.T) {
+	t0 := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	c := StepClock(t0, time.Second)
+	for i := 0; i < 3; i++ {
+		if got, want := c(), t0.Add(time.Duration(i)*time.Second); !got.Equal(want) {
+			t.Fatalf("reading %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestStepClockConcurrent checks that concurrent readers draw distinct,
+// gap-free readings: virtual time must not repeat or skip under race.
+func TestStepClockConcurrent(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	c := StepClock(t0, time.Nanosecond)
+	const n = 64
+	var wg sync.WaitGroup
+	seen := make([]time.Time, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seen[i] = c()
+		}(i)
+	}
+	wg.Wait()
+	uniq := make(map[int64]bool, n)
+	for _, ts := range seen {
+		ns := ts.UnixNano()
+		if ns < 0 || ns >= n {
+			t.Fatalf("reading %v outside the first %d steps", ts, n)
+		}
+		uniq[ns] = true
+	}
+	if len(uniq) != n {
+		t.Fatalf("%d distinct readings from %d concurrent calls", len(uniq), n)
+	}
+}
+
+func TestSystemClockIsWallClock(t *testing.T) {
+	before := time.Now()
+	got := SystemClock()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("SystemClock reading %v outside [%v, %v]", got, before, after)
+	}
+}

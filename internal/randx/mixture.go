@@ -73,6 +73,7 @@ func (m *Mixture) Sample(r *RNG) float64 {
 		for u == 0 {
 			u = r.Float64()
 		}
+		//lint:allow floatcheck NewMixture rejects components with TailProb > 0 and TailAlpha <= 0
 		v *= 1 + c.TailScale*(math.Pow(u, -1/c.TailAlpha)-1)
 	}
 	return v
@@ -96,6 +97,7 @@ func (m *Mixture) Mean() float64 {
 		total += c.Weight
 		acc += c.Weight * (c.Shift + math.Exp(c.Mu+c.Sigma*c.Sigma/2))
 	}
+	//lint:allow floatcheck NewMixture rejects weight sets that sum to zero, so total > 0
 	return acc / total
 }
 

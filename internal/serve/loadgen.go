@@ -6,13 +6,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/numeric"
+	"repro/internal/parallel"
+	"repro/internal/randx"
 )
 
 // LoadgenOptions parameterizes a load-generation run against a live
@@ -127,51 +129,40 @@ func Loadgen(ctx context.Context, opts LoadgenOptions) (*LoadgenResult, error) {
 	endpoint := fmt.Sprintf("%s/v1/predict/uc%d", strings.TrimRight(opts.URL, "/"), opts.UseCase)
 
 	var (
-		next    atomic.Int64
-		mu      sync.Mutex
-		cold    []float64
-		warm    []float64
-		errs    int
-		coldSum float64
-		warmSum float64
+		mu               sync.Mutex
+		cold             []float64
+		warm             []float64
+		errs             int
+		coldSum, warmSum numeric.Accumulator
 	)
-	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Concurrency; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= opts.Requests || ctx.Err() != nil {
-					return
-				}
-				bench := opts.Benchmarks[i%len(opts.Benchmarks)]
-				hit, ms, err := loadgenOnce(ctx, client, endpoint, &opts, bench)
-				mu.Lock()
-				switch {
-				case err != nil:
-					errs++
-				case hit:
-					warm = append(warm, ms)
-					warmSum += ms
-				default:
-					cold = append(cold, ms)
-					coldSum += ms
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-	dur := time.Since(start)
+	start := clock()
+	// A canceled context just ends the run early; the partial counts are
+	// still the report, so the pool's ctx.Err() is deliberately dropped.
+	_ = parallel.ForEach(ctx, opts.Requests, opts.Concurrency, func(ctx context.Context, i int) error {
+		bench := opts.Benchmarks[i%len(opts.Benchmarks)]
+		hit, ms, err := loadgenOnce(ctx, client, endpoint, &opts, bench)
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case err != nil:
+			errs++
+		case hit:
+			warm = append(warm, ms)
+			warmSum.Add(ms)
+		default:
+			cold = append(cold, ms)
+			coldSum.Add(ms)
+		}
+		return nil
+	})
+	dur := clock.Since(start)
 	res := &LoadgenResult{
 		Requests: opts.Requests,
 		Errors:   errs,
 		Duration: dur,
 		RPS:      float64(opts.Requests-errs) / dur.Seconds(),
-		Cold:     summarizeMS(int64(len(cold)), coldSum, cold),
-		Warm:     summarizeMS(int64(len(warm)), warmSum, warm),
+		Cold:     summarizeMS(int64(len(cold)), coldSum.Sum(), cold),
+		Warm:     summarizeMS(int64(len(warm)), warmSum.Sum(), warm),
 	}
 	return res, nil
 }
@@ -227,6 +218,15 @@ const (
 	loadgenMaxBackoff  = 5 * time.Second
 )
 
+// jitterSrc drives the retry jitter. The fixed seed is fine — jitter
+// exists to decorrelate concurrent clients within one run, not to be
+// unpredictable across runs — and keeps the load generator free of the
+// global math/rand stream like everything else in the repository.
+var jitterSrc = struct {
+	mu sync.Mutex
+	r  *randx.RNG
+}{r: randx.New(0x6c6f6164)}
+
 // retryDelay computes the wait before retry attempt (0-based), honoring
 // the server's Retry-After header when present, otherwise doubling from
 // the base with a cap, and always adding up to 50% jitter.
@@ -238,7 +238,9 @@ func retryDelay(retryAfter string, attempt int) time.Duration {
 	if delay > loadgenMaxBackoff {
 		delay = loadgenMaxBackoff
 	}
-	return delay + time.Duration(rand.Int64N(int64(delay)/2+1))
+	jitterSrc.mu.Lock()
+	defer jitterSrc.mu.Unlock()
+	return delay + time.Duration(jitterSrc.r.IntN(int(delay)/2+1))
 }
 
 // loadgenOnce issues one prediction request — retrying 503s (shed load
@@ -268,15 +270,15 @@ func loadgenOnce(ctx context.Context, client *http.Client, endpoint string, opts
 			return false, 0, err
 		}
 		req.Header.Set("Content-Type", "application/json")
-		start := time.Now()
+		start := clock()
 		resp, err := client.Do(req)
 		if err != nil {
 			return false, 0, err
 		}
-		elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+		elapsed := float64(clock.Since(start)) / float64(time.Millisecond)
 		if resp.StatusCode == http.StatusServiceUnavailable && attempt < opts.MaxRetries {
 			retryAfter := resp.Header.Get("Retry-After")
-			io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
 			resp.Body.Close()
 			select {
 			case <-time.After(retryDelay(retryAfter, attempt)):

@@ -44,7 +44,7 @@ type latencyReservoir struct {
 // NewMetrics returns an empty metrics set.
 func NewMetrics() *Metrics {
 	m := &Metrics{
-		start:    time.Now(),
+		start:    clock(),
 		requests: new(expvar.Map).Init(),
 		statuses: new(expvar.Map).Init(),
 		lat:      make(map[string]*latencyReservoir),
@@ -58,6 +58,7 @@ func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
 	m.statuses.Add(http.StatusText(status), 1)
 	ms := float64(d) / float64(time.Millisecond)
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	r := m.lat[endpoint]
 	if r == nil {
 		r = &latencyReservoir{}
@@ -71,7 +72,6 @@ func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
 		r.samples[r.next] = ms
 		r.next = (r.next + 1) % latencyCap
 	}
-	m.mu.Unlock()
 }
 
 // LatencySummary reports count, mean, and percentiles in milliseconds.
@@ -115,15 +115,17 @@ func (m *Metrics) snapshot(pred *core.Predictor, inFlight int64) map[string]any 
 		return out
 	}
 	lat := map[string]LatencySummary{}
-	m.mu.Lock()
-	for ep, r := range m.lat {
-		lat[ep] = summarizeMS(r.count, r.sumMS, r.samples)
-	}
-	m.mu.Unlock()
+	func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		for ep, r := range m.lat {
+			lat[ep] = summarizeMS(r.count, r.sumMS, r.samples)
+		}
+	}()
 	cs := pred.CacheStats()
 	deg := pred.Degraded()
 	return map[string]any{
-		"uptime_seconds": time.Since(m.start).Seconds(),
+		"uptime_seconds": clock.Since(m.start).Seconds(),
 		"in_flight":      inFlight,
 		"goroutines":     runtime.NumGoroutine(),
 		"requests":       counts(m.requests),

@@ -115,6 +115,7 @@ func (s *Server) Serve(ctx context.Context) error {
 	}
 	hs := &http.Server{Handler: s.mux}
 	errc := make(chan error, 1)
+	//lint:allow lockcheck process-lifetime listener goroutine joined via errc/Shutdown, not request work for the pool
 	go func() { errc <- hs.Serve(s.ln) }()
 	select {
 	case err := <-errc:
@@ -134,12 +135,12 @@ func (s *Server) Serve(ctx context.Context) error {
 // accounting.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		start := clock()
 		s.metrics.inFlight.Add(1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		s.metrics.inFlight.Add(-1)
-		s.metrics.Observe(endpoint, sw.status, time.Since(start))
+		s.metrics.Observe(endpoint, sw.status, clock.Since(start))
 	}
 }
 

@@ -3,6 +3,8 @@ package stats
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/numeric"
 )
 
 // Histogram is a fixed-bin histogram over [Lo, Hi). Values outside the
@@ -53,11 +55,7 @@ func (h *Histogram) AddAll(xs []float64) {
 
 // Total returns the sum of all bin weights.
 func (h *Histogram) Total() float64 {
-	var s float64
-	for _, c := range h.Counts {
-		s += c
-	}
-	return s
+	return numeric.Sum(h.Counts)
 }
 
 // Normalized returns a copy whose bin weights sum to 1 (a discrete PDF).

@@ -58,6 +58,7 @@ const invSqrt2Pi = 0.3989422804014327
 // At evaluates the density estimate at x.
 func (k *KDE) At(x float64) float64 {
 	var s float64
+	//lint:allow floatcheck both constructors reject non-positive bandwidths
 	inv := 1 / k.Bandwidth
 	for _, xi := range k.sample {
 		u := (x - xi) * inv

@@ -10,6 +10,8 @@ package stats
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/numeric"
 )
 
 // Mean returns the arithmetic mean of xs. It panics on an empty slice.
@@ -17,11 +19,7 @@ func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
 		panic("stats: Mean of empty slice")
 	}
-	var s float64
-	for _, x := range xs {
-		s += x
-	}
-	return s / float64(len(xs))
+	return numeric.Sum(xs) / float64(len(xs))
 }
 
 // Variance returns the unbiased (n-1) sample variance of xs.
