@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet varlint clean
+.PHONY: all build test race lint vet varlint benchcheck benchcheck-update fuzz cover clean
 
 all: build test
 
@@ -23,6 +23,32 @@ vet:
 
 varlint:
 	$(GO) run ./cmd/varlint -cache .varlint-cache ./...
+
+# benchcheck guards the tier-1 hot paths (batch prediction, KS/W1
+# kernels) against BENCH_baseline.json; >20% ns/op regressions fail.
+# Refresh the baseline deliberately with benchcheck-update.
+benchcheck:
+	$(GO) run ./cmd/benchcheck
+
+benchcheck-update:
+	$(GO) run ./cmd/benchcheck -update
+
+# fuzz smokes every fuzz target for 10s each (Go permits one -fuzz
+# target per invocation).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/measure -run '^$$' -fuzz '^FuzzValidateRuns$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzPredictRequestDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzBatchPredictRequestDecode$$' -fuzztime $(FUZZTIME)
+
+# cover prints per-package coverage and enforces the internal/obs gate
+# (the observability layer must stay >= 80% covered).
+cover:
+	$(GO) test -cover ./... | grep -v 'no test files'
+	@pct=$$($(GO) test -cover ./internal/obs | grep -o 'coverage: [0-9.]*' | grep -o '[0-9.]*'); \
+	echo "internal/obs coverage: $$pct% (gate: 80%)"; \
+	awk -v p="$$pct" 'BEGIN { exit (p >= 80 ? 0 : 1) }' || \
+	  { echo "FAIL: internal/obs coverage below 80%"; exit 1; }
 
 clean:
 	rm -rf .varlint-cache

@@ -5,9 +5,13 @@
 // Usage:
 //
 //	varcollect -out campaign.gob.gz [-runs 1000] [-probes 120] [-seed 1]
+//
+// With -trace the collect/save/export phases are timed as an obs span
+// tree and printed at the end.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -16,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/perfsim"
 	"repro/internal/randx"
 )
@@ -29,21 +34,39 @@ func main() {
 		probes = flag.Int("probes", 120, "extra probe runs per benchmark for few-run profiles")
 		seed   = flag.Uint64("seed", 1, "campaign seed")
 		csvDir = flag.String("csv", "", "also export per-system relative-time CSVs into this directory")
+		trace  = flag.Bool("trace", false, "print an obs span tree of the collect/save/export phases")
 	)
 	flag.Parse()
+
+	// Phase tracing: each stage of the campaign becomes a child span so
+	// slow collections show where the time went.
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	var rootSpan *obs.Span
+	if *trace {
+		tracer = obs.NewTracer(obs.Config{BufferSize: 1})
+		ctx, rootSpan = tracer.Start(ctx, "varcollect")
+	}
 
 	systems := []*perfsim.System{perfsim.NewIntelSystem(), perfsim.NewAMDSystem()}
 	workloads := perfsim.TableI()
 	fmt.Printf("collecting %d runs + %d probes for %d benchmarks on %d systems (seed %d)...\n",
 		*runs, *probes, len(workloads), len(systems), *seed)
 	start := randx.SystemClock()
+	_, collectSpan := obs.Start(ctx, "collect.measure")
+	collectSpan.SetAttr("runs", *runs)
+	collectSpan.SetAttr("probes", *probes)
 	db, err := measure.Collect(systems, workloads, measure.Config{
 		Runs: *runs, ProbeRuns: *probes, Seed: *seed,
 	})
+	collectSpan.End()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := db.Save(*out); err != nil {
+	_, saveSpan := obs.Start(ctx, "collect.save")
+	err = db.Save(*out)
+	saveSpan.End()
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s in %v\n", *out, randx.SystemClock.Since(start).Round(time.Millisecond))
@@ -56,6 +79,8 @@ func main() {
 				log.Fatal(err)
 			}
 			path := filepath.Join(*csvDir, "reltimes_"+sd.SystemName+".csv")
+			_, exportSpan := obs.Start(ctx, "collect.export")
+			exportSpan.SetAttr("path", path)
 			f, err := os.Create(path)
 			if err != nil {
 				log.Fatal(err)
@@ -66,7 +91,15 @@ func main() {
 			if err := f.Close(); err != nil {
 				log.Fatal(err)
 			}
+			exportSpan.End()
 			fmt.Printf("  wrote %s\n", path)
+		}
+	}
+	if rootSpan != nil {
+		rootSpan.End()
+		for _, root := range tracer.Traces() {
+			fmt.Println("trace:")
+			fmt.Println(root.Render())
 		}
 	}
 }

@@ -9,10 +9,14 @@
 //	varpredict -bench npb/bt -rep histogram -model rf   # other designs
 //
 // A measurement database can be reused with -db (see varcollect);
-// otherwise a reduced campaign is collected on the fly.
+// otherwise a reduced campaign is collected on the fly. With -trace the
+// prediction runs through the cached predictor under an obs trace and
+// the span tree (dataset build, model fit, decode) is printed after the
+// overlay — the "where did the time go" view.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/perfsim"
 	"repro/internal/report"
 	"repro/internal/stats"
@@ -41,6 +46,7 @@ func main() {
 		runs    = flag.Int("runs", 400, "on-the-fly campaign size when -db is not given")
 		seed    = flag.Uint64("seed", 1, "seed")
 		procs   = flag.Int("procs", 0, "GOMAXPROCS for parallel training/prediction (0 = all cores)")
+		trace   = flag.Bool("trace", false, "print the obs span tree of the prediction (timings per phase)")
 	)
 	flag.Parse()
 	if *procs > 0 {
@@ -71,19 +77,47 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// With -trace the request runs through the cached predictor (the
+	// serving path), whose spans land on a local tracer; the results are
+	// bit-identical to the batch path for the same seed.
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	var rootSpan *obs.Span
+	if *trace {
+		tracer = obs.NewTracer(obs.Config{BufferSize: 1})
+		ctx, rootSpan = tracer.Start(ctx, fmt.Sprintf("varpredict uc%d %s", *usecase, *bench))
+	}
+
 	var predicted, actual []float64
 	var title string
 	switch *usecase {
 	case 1:
+		title = fmt.Sprintf("%s on intel, predicted from %d runs (%s + %s)", *bench, *samples, rep, model)
+		cfg := core.UC1Config{Rep: rep, Model: model, NumSamples: *samples, Seed: *seed}
+		if *trace {
+			var p *core.Prediction
+			p, err = core.NewPredictor(db).PredictUC1(ctx, "intel", *bench, cfg)
+			if err == nil {
+				predicted, actual = p.Predicted, p.Actual
+			}
+			break
+		}
 		intel, ok := db.System("intel")
 		if !ok {
 			log.Fatal("database lacks the intel system")
 		}
-		predicted, actual, err = core.PredictUC1(intel, *bench, core.UC1Config{
-			Rep: rep, Model: model, NumSamples: *samples, Seed: *seed,
-		})
-		title = fmt.Sprintf("%s on intel, predicted from %d runs (%s + %s)", *bench, *samples, rep, model)
+		predicted, actual, err = core.PredictUC1(intel, *bench, cfg)
 	case 2:
+		title = fmt.Sprintf("%s: %s → %s (%s + %s)", *bench, *src, *dst, rep, model)
+		cfg := core.UC2Config{Rep: rep, Model: model, Seed: *seed}
+		if *trace {
+			var p *core.Prediction
+			p, err = core.NewPredictor(db).PredictUC2(ctx, *src, *dst, *bench, cfg)
+			if err == nil {
+				predicted, actual = p.Predicted, p.Actual
+			}
+			break
+		}
 		srcSys, ok := db.System(*src)
 		if !ok {
 			log.Fatalf("database lacks system %q", *src)
@@ -92,15 +126,15 @@ func main() {
 		if !ok {
 			log.Fatalf("database lacks system %q", *dst)
 		}
-		predicted, actual, err = core.PredictUC2(srcSys, dstSys, *bench, core.UC2Config{
-			Rep: rep, Model: model, Seed: *seed,
-		})
-		title = fmt.Sprintf("%s: %s → %s (%s + %s)", *bench, *src, *dst, rep, model)
+		predicted, actual, err = core.PredictUC2(srcSys, dstSys, *bench, cfg)
 	default:
 		log.Fatalf("unknown use case %d", *usecase)
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if rootSpan != nil {
+		rootSpan.End()
 	}
 
 	fmt.Println(viz.OverlayPlot(actual, predicted, 72, 12, title))
@@ -119,4 +153,11 @@ func main() {
 			fmt.Sprintf("%.2f", pm.Skew), fmt.Sprintf("%.2f", pm.Kurt),
 			fmt.Sprint(stats.NewKDE(predicted).CountModes(512, 0.1))},
 	}))
+	if tracer != nil {
+		for _, root := range tracer.Traces() {
+			fmt.Println()
+			fmt.Println("trace:")
+			fmt.Println(root.Render())
+		}
+	}
 }

@@ -12,8 +12,10 @@
 //	varserve -loadgen -url http://host:8080           # benchmark a remote server
 //
 // Endpoints: POST /v1/predict/uc1, POST /v1/predict/uc2,
-// GET /v1/systems, /healthz, /readyz, /metrics. See the "Serving
-// predictions" section of README.md for the request/response reference.
+// GET /v1/systems, /healthz, /readyz, /metrics, /v1/metrics (obs
+// registry), /v1/traces (recent request traces), and — with -pprof —
+// /debug/pprof/. See the "Serving predictions" and "Observability"
+// sections of README.md for the request/response reference.
 //
 // The server drains gracefully on SIGINT/SIGTERM: readiness flips to
 // 503 and in-flight requests get time to finish.
@@ -28,6 +30,8 @@ import (
 	"runtime"
 	"syscall"
 	"time"
+
+	"expvar"
 
 	"repro/internal/core"
 	"repro/internal/measure"
@@ -48,6 +52,9 @@ func main() {
 		procs   = flag.Int("procs", 0, "GOMAXPROCS for parallel training/prediction (0 = all cores)")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request deadline")
 		warm    = flag.Bool("warm", false, "pre-train the default full models before serving")
+		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes heap/stack contents; opt-in)")
+		slow    = flag.Duration("slowtrace", time.Second, "log requests slower than this as span trees (0 disables)")
+		traces  = flag.Int("tracebuf", 256, "completed request traces kept for GET /v1/traces")
 
 		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of (or against) a server")
 		url      = flag.String("url", "", "loadgen target (empty = self-host an in-process server)")
@@ -77,13 +84,19 @@ func main() {
 		listenAddr = "127.0.0.1:0" // self-hosted benchmark target
 	}
 	srv := serve.New(db, serve.Config{
-		Addr:           listenAddr,
-		Workers:        *workers,
-		RequestTimeout: *timeout,
+		Addr:               listenAddr,
+		Workers:            *workers,
+		RequestTimeout:     *timeout,
+		EnablePprof:        *pprofOn,
+		SlowTraceThreshold: *slow,
+		TraceBufferSize:    *traces,
 	})
+	// Mirror the server's obs registry into the process-global expvar
+	// set (one server per process here, so the name cannot collide).
+	expvar.Publish("obs", srv.Metrics().Registry().ExpvarVar())
 	if *warm {
 		warmStart := randx.SystemClock()
-		if err := srv.Predictor().Warm(
+		if err := srv.Predictor().Warm(ctx,
 			[]core.UC1Config{{NumSamples: 10, Seed: 1}},
 			[]core.UC2Config{{Seed: 1}},
 		); err != nil {

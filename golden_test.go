@@ -1,0 +1,168 @@
+package repro
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/distrep"
+	"repro/internal/measure"
+	"repro/internal/perfsim"
+	"repro/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files instead of comparing")
+
+// goldenEntry pins one end-to-end prediction. Values are stored as
+// 6-significant-digit strings: comfortably inside float64 determinism
+// (the pipeline is bit-reproducible for a fixed seed) while keeping the
+// golden file readable in review.
+type goldenEntry struct {
+	Case      string            `json:"case"`
+	Benchmark string            `json:"benchmark"`
+	N         int               `json:"n"`
+	KS        string            `json:"ks"`
+	W1        string            `json:"w1"`
+	Mean      string            `json:"mean"`
+	Std       string            `json:"std"`
+	Skew      string            `json:"skew"`
+	Kurt      string            `json:"kurt"`
+	Quantiles map[string]string `json:"quantiles"`
+}
+
+func g6(x float64) string { return strconv.FormatFloat(x, 'g', 6, 64) }
+
+var (
+	goldenOnce sync.Once
+	goldenDB   *measure.Database
+	goldenErr  error
+)
+
+// goldenCampaign is a reduced but fully representative campaign: eight
+// Table I benchmarks on both systems, enough runs for stable holdout
+// fits, fixed seed so the whole pipeline is deterministic.
+func goldenCampaign(t *testing.T) *measure.Database {
+	t.Helper()
+	goldenOnce.Do(func() {
+		goldenDB, goldenErr = measure.Collect(
+			[]*perfsim.System{perfsim.NewIntelSystem(), perfsim.NewAMDSystem()},
+			perfsim.TableI()[:8],
+			measure.Config{Runs: 60, ProbeRuns: 20, Seed: 42},
+		)
+	})
+	if goldenErr != nil {
+		t.Fatalf("campaign: %v", goldenErr)
+	}
+	return goldenDB
+}
+
+func entryFrom(name, benchID string, predicted, actual []float64) goldenEntry {
+	m := stats.ComputeMoments4(predicted)
+	qs := stats.Quantiles(predicted, []float64{0.05, 0.25, 0.5, 0.75, 0.95})
+	return goldenEntry{
+		Case:      name,
+		Benchmark: benchID,
+		N:         len(predicted),
+		KS:        g6(stats.KSStatistic(predicted, actual)),
+		W1:        g6(stats.Wasserstein1(predicted, actual)),
+		Mean:      g6(m.Mean),
+		Std:       g6(m.Std),
+		Skew:      g6(m.Skew),
+		Kurt:      g6(m.Kurt),
+		Quantiles: map[string]string{
+			"p5": g6(qs[0]), "p25": g6(qs[1]), "p50": g6(qs[2]),
+			"p75": g6(qs[3]), "p95": g6(qs[4]),
+		},
+	}
+}
+
+// TestGoldenUC1Pipeline runs the full pipeline — simulator campaign,
+// ingest validation, feature extraction, model fit, distribution
+// decode, scoring — and compares the result against the committed
+// golden file. Regenerate deliberately with:
+//
+//	go test . -run TestGolden -update
+func TestGoldenUC1Pipeline(t *testing.T) {
+	db := goldenCampaign(t)
+	intel, ok := db.System("intel")
+	if !ok {
+		t.Fatal("intel system missing")
+	}
+	amd, ok := db.System("amd")
+	if !ok {
+		t.Fatal("amd system missing")
+	}
+
+	var got []goldenEntry
+	for _, benchID := range []string{
+		intel.Benchmarks[0].Workload.ID(),
+		intel.Benchmarks[3].Workload.ID(),
+	} {
+		for _, mc := range []struct {
+			name  string
+			model core.Model
+			rep   distrep.Kind
+		}{
+			{"uc1 knn+pearsonrnd", core.KNN, distrep.PearsonRnd},
+			{"uc1 rf+histogram", core.RandomForest, distrep.Histogram},
+		} {
+			pred, actual, err := core.PredictUC1(intel, benchID, core.UC1Config{
+				Rep: mc.rep, Model: mc.model, NumSamples: 10, Seed: 7,
+			})
+			if err != nil {
+				t.Fatalf("%s %s: %v", mc.name, benchID, err)
+			}
+			got = append(got, entryFrom(mc.name, benchID, pred, actual))
+		}
+	}
+	// One cross-system prediction closes the loop on use case 2.
+	uc2Bench := intel.Benchmarks[1].Workload.ID()
+	pred, actual, err := core.PredictUC2(amd, intel, uc2Bench, core.UC2Config{
+		Rep: distrep.PearsonRnd, Model: core.KNN, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("uc2: %v", err)
+	}
+	got = append(got, entryFrom("uc2 amd->intel knn+pearsonrnd", uc2Bench, pred, actual))
+
+	goldenPath := filepath.Join("testdata", "uc1_golden.json")
+	if *update {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d entries)", goldenPath, len(got))
+		return
+	}
+
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("parse golden: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d entries, golden has %d (regenerate with -update?)", len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			gj, _ := json.Marshal(got[i])
+			wj, _ := json.Marshal(want[i])
+			t.Errorf("entry %d diverged from golden:\n got %s\nwant %s", i, gj, wj)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/measure"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/perfsim"
 	"repro/internal/randx"
@@ -313,13 +314,31 @@ func (e *fitError) Unwrap() error        { return e.err }
 func (e *fitError) Is(target error) bool { return target == ErrFitFailed }
 
 // dataset returns the cached learning problem for key, building it on
-// first use.
-func (p *Predictor) dataset(k datasetKey) (*uc1Data, error) {
+// first use. The build (profile assembly + ingest validation) is
+// recorded as a "dataset.build" span on the building request's trace,
+// annotated with how much the quarantine took.
+func (p *Predictor) dataset(ctx context.Context, k datasetKey) (*uc1Data, error) {
 	v, _ := p.datasets.LoadOrStore(k, &dataCell{})
 	c := v.(*dataCell)
 	c.once.Do(func() {
+		_, span := obs.Start(ctx, "dataset.build")
+		defer span.End()
+		span.SetAttr("key", k.label())
 		c.data, c.err = p.buildDataset(k)
 		c.done.Store(true)
+		if c.err != nil || c.data == nil {
+			span.SetAttr("error", true)
+			return
+		}
+		span.SetAttr("benchmarks", len(c.data.ids))
+		span.SetAttr("unusable", len(c.data.unusable))
+		quarantined := 0
+		for _, reports := range c.data.quarantine {
+			for i := range reports {
+				quarantined += reports[i].Runs.Quarantined + reports[i].Probes.Quarantined
+			}
+		}
+		span.SetAttr("quarantined_runs", quarantined)
 	})
 	return c.data, c.err
 }
@@ -383,11 +402,19 @@ func resolveHoldout(data *uc1Data, holdout string) (test int, train []int, err e
 }
 
 // fitResolved runs the fit hook and trains one regressor of the key's
-// model family (or the kNN fallback family) on the training rows.
-func (p *Predictor) fitResolved(data *uc1Data, k modelKey, test int, train []int, fallback bool) (*fittedModel, error) {
+// model family (or the kNN fallback family) on the training rows,
+// under a "model.fit" span naming the family.
+func (p *Predictor) fitResolved(ctx context.Context, data *uc1Data, k modelKey, test int, train []int, fallback bool) (*fittedModel, error) {
 	model, opts, seed := k.data.params()
 	if fallback {
 		model = KNN
+	}
+	_, span := obs.Start(ctx, "model.fit")
+	defer span.End()
+	span.SetAttr("model", model.String())
+	span.SetAttr("holdout", k.holdout)
+	if fallback {
+		span.SetAttr("fallback", true)
 	}
 	if h := p.hook(); h != nil {
 		if err := h(FitInfo{
@@ -415,8 +442,8 @@ func (p *Predictor) fitResolved(data *uc1Data, k modelKey, test int, train []int
 // on first use under the breaker. A failed fit returns *fitError and
 // trips the breaker; a rejected attempt returns *BreakerOpenError.
 // Configuration errors pass through untouched.
-func (p *Predictor) modelStrict(k modelKey) (*fittedModel, bool, error) {
-	data, err := p.dataset(k.data)
+func (p *Predictor) modelStrict(ctx context.Context, k modelKey) (*fittedModel, bool, error) {
+	data, err := p.dataset(ctx, k.data)
 	if err != nil {
 		return nil, false, err
 	}
@@ -436,7 +463,7 @@ func (p *Predictor) modelStrict(k modelKey) (*fittedModel, bool, error) {
 	if err := br.allow(p.now()); err != nil {
 		return nil, false, err
 	}
-	fm, err := p.fitResolved(data, k, test, train, false)
+	fm, err := p.fitResolved(ctx, data, k, test, train, false)
 	if err != nil {
 		ferr := &fitError{err: err}
 		br.failure(p.now(), ferr)
@@ -452,8 +479,8 @@ func (p *Predictor) modelStrict(k modelKey) (*fittedModel, bool, error) {
 // fitting it on first use. It bypasses the breaker: the breaker guards
 // the (possibly expensive, possibly broken) primary family, while kNN
 // fitting is memorization and is the escape hatch.
-func (p *Predictor) fallbackKNN(k modelKey) (*fittedModel, bool, error) {
-	data, err := p.dataset(k.data)
+func (p *Predictor) fallbackKNN(ctx context.Context, k modelKey) (*fittedModel, bool, error) {
+	data, err := p.dataset(ctx, k.data)
 	if err != nil {
 		return nil, false, err
 	}
@@ -468,7 +495,7 @@ func (p *Predictor) fallbackKNN(k modelKey) (*fittedModel, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	fm, err := p.fitResolved(data, k, test, train, true)
+	fm, err := p.fitResolved(ctx, data, k, test, train, true)
 	if err != nil {
 		return nil, false, err
 	}
@@ -480,8 +507,8 @@ func (p *Predictor) fallbackKNN(k modelKey) (*fittedModel, bool, error) {
 // otherwise the degraded fallback chain — the stale pre-Refresh model
 // first, then the kNN fallback. Only fit failures and open breakers
 // degrade; configuration errors propagate.
-func (p *Predictor) modelServe(k modelKey) (*servedModel, error) {
-	fm, hit, err := p.modelStrict(k)
+func (p *Predictor) modelServe(ctx context.Context, k modelKey) (*servedModel, error) {
+	fm, hit, err := p.modelStrict(ctx, k)
 	if err == nil {
 		return &servedModel{fittedModel: fm, hit: hit}, nil
 	}
@@ -494,7 +521,7 @@ func (p *Predictor) modelServe(k modelKey) (*servedModel, error) {
 		p.staleServed.Add(1)
 		return &servedModel{fittedModel: v.(*fittedModel), hit: true, degraded: true, fallback: "stale"}, nil
 	}
-	fb, fbHit, fbErr := p.fallbackKNN(k)
+	fb, fbHit, fbErr := p.fallbackKNN(ctx, k)
 	if fbErr != nil {
 		// The fallback failed too (e.g. the hook kills every fit):
 		// report the primary error, which carries breaker semantics.
@@ -508,26 +535,47 @@ func (p *Predictor) modelServe(k modelKey) (*servedModel, error) {
 // from its few-run profile, training on the other benchmarks (cached).
 // The returned Prediction carries the measured ground truth so callers
 // can score the prediction. Identical to the batch PredictUC1 for the
-// same seed, but O(predict) on repeat calls.
-func (p *Predictor) PredictUC1(system, benchmarkID string, cfg UC1Config) (*Prediction, error) {
+// same seed, but O(predict) on repeat calls. When ctx carries an obs
+// span, the request records a "predictor.uc1" span with fit and
+// predict children.
+func (p *Predictor) PredictUC1(ctx context.Context, system, benchmarkID string, cfg UC1Config) (*Prediction, error) {
+	ctx, span := obs.Start(ctx, "predictor.uc1")
+	defer span.End()
+	span.SetAttr("system", system)
+	span.SetAttr("benchmark", benchmarkID)
 	if err := p.checkBenchmark(system, benchmarkID); err != nil {
 		return nil, err
 	}
 	k := modelKey{data: datasetKey{useCase: 1, system: system, uc1: cfg}, holdout: benchmarkID}
-	if err := p.checkUsable(k.data, benchmarkID); err != nil {
+	if err := p.checkUsable(ctx, k.data, benchmarkID); err != nil {
 		return nil, err
 	}
-	m, err := p.modelServe(k)
+	m, err := p.modelServe(ctx, k)
 	if err != nil {
 		return nil, err
 	}
-	return decodeHoldout(m, cfg.Seed), nil
+	annotateServed(span, m)
+	return decodeHoldout(ctx, m, cfg.Seed), nil
+}
+
+// annotateServed stamps a predictor span with how its model was
+// obtained (nil-safe, like all span operations).
+func annotateServed(span *obs.Span, m *servedModel) {
+	span.SetAttr("cache_hit", m.hit)
+	if m.degraded {
+		span.SetAttr("fallback", m.fallback)
+	}
 }
 
 // PredictUC2 predicts benchmarkID's distribution on the target system
 // from its source-system measurements, training on the other benchmarks
 // (cached).
-func (p *Predictor) PredictUC2(src, dst, benchmarkID string, cfg UC2Config) (*Prediction, error) {
+func (p *Predictor) PredictUC2(ctx context.Context, src, dst, benchmarkID string, cfg UC2Config) (*Prediction, error) {
+	ctx, span := obs.Start(ctx, "predictor.uc2")
+	defer span.End()
+	span.SetAttr("source", src)
+	span.SetAttr("target", dst)
+	span.SetAttr("benchmark", benchmarkID)
 	if err := p.checkBenchmark(src, benchmarkID); err != nil {
 		return nil, err
 	}
@@ -535,14 +583,15 @@ func (p *Predictor) PredictUC2(src, dst, benchmarkID string, cfg UC2Config) (*Pr
 		return nil, err
 	}
 	k := modelKey{data: datasetKey{useCase: 2, system: src, target: dst, uc2: cfg}, holdout: benchmarkID}
-	if err := p.checkUsable(k.data, benchmarkID); err != nil {
+	if err := p.checkUsable(ctx, k.data, benchmarkID); err != nil {
 		return nil, err
 	}
-	m, err := p.modelServe(k)
+	m, err := p.modelServe(ctx, k)
 	if err != nil {
 		return nil, err
 	}
-	return decodeHoldout(m, cfg.Seed), nil
+	annotateServed(span, m)
+	return decodeHoldout(ctx, m, cfg.Seed), nil
 }
 
 // checkBenchmark validates the (system, benchmark) pair up front so
@@ -561,8 +610,8 @@ func (p *Predictor) checkBenchmark(system, benchmarkID string) error {
 
 // checkUsable rejects requests for benchmarks that exist in the
 // database but were quarantined out of the assembled dataset.
-func (p *Predictor) checkUsable(dk datasetKey, benchmarkID string) error {
-	data, err := p.dataset(dk)
+func (p *Predictor) checkUsable(ctx context.Context, dk datasetKey, benchmarkID string) error {
+	data, err := p.dataset(ctx, dk)
 	if err != nil {
 		return err
 	}
@@ -575,7 +624,9 @@ func (p *Predictor) checkUsable(dk datasetKey, benchmarkID string) error {
 // decodeHoldout turns the fitted model's output for the held-out row
 // into a concrete sample, using the same seed derivation as the batch
 // predictHoldout so cached and uncached answers agree bit-for-bit.
-func decodeHoldout(m *servedModel, seed uint64) *Prediction {
+func decodeHoldout(ctx context.Context, m *servedModel, seed uint64) *Prediction {
+	_, span := obs.Start(ctx, "model.predict")
+	defer span.End()
 	predVec := m.reg.Predict(m.data.dataset.X[m.test])
 	actual := m.data.rel[m.test]
 	predicted := m.data.rep.Decode(predVec, len(actual), randx.New(seed^0xD1B54A32D192ED03))
@@ -593,7 +644,10 @@ func decodeHoldout(m *servedModel, seed uint64) *Prediction {
 // has never seen), using the full model trained on every benchmark —
 // the paper's actual deployment scenario. n is the number of samples to
 // decode (the database's runs-per-benchmark when <= 0).
-func (p *Predictor) PredictUC1Profile(system string, probe []perfsim.Run, n int, cfg UC1Config) (*Prediction, error) {
+func (p *Predictor) PredictUC1Profile(ctx context.Context, system string, probe []perfsim.Run, n int, cfg UC1Config) (*Prediction, error) {
+	ctx, span := obs.Start(ctx, "predictor.uc1_profile")
+	defer span.End()
+	span.SetAttr("system", system)
 	sd, err := p.system(system)
 	if err != nil {
 		return nil, err
@@ -603,17 +657,22 @@ func (p *Predictor) PredictUC1Profile(system string, probe []perfsim.Run, n int,
 		return nil, err
 	}
 	k := modelKey{data: datasetKey{useCase: 1, system: system, uc1: cfg}}
-	m, err := p.modelServe(k)
+	m, err := p.modelServe(ctx, k)
 	if err != nil {
 		return nil, err
 	}
-	return p.decodeProfile(m, prof.Values, n, cfg.Seed)
+	annotateServed(span, m)
+	return p.decodeProfile(ctx, m, prof.Values, n, cfg.Seed)
 }
 
 // PredictUC2Profile predicts a distribution on the target system from
 // an application's source-system probe runs and measured relative
 // times, using the full cross-system model trained on every benchmark.
-func (p *Predictor) PredictUC2Profile(src, dst string, probe []perfsim.Run, srcRelTimes []float64, n int, cfg UC2Config) (*Prediction, error) {
+func (p *Predictor) PredictUC2Profile(ctx context.Context, src, dst string, probe []perfsim.Run, srcRelTimes []float64, n int, cfg UC2Config) (*Prediction, error) {
+	ctx, span := obs.Start(ctx, "predictor.uc2_profile")
+	defer span.End()
+	span.SetAttr("source", src)
+	span.SetAttr("target", dst)
 	srcSys, err := p.system(src)
 	if err != nil {
 		return nil, err
@@ -629,12 +688,13 @@ func (p *Predictor) PredictUC2Profile(src, dst string, probe []perfsim.Run, srcR
 		return nil, err
 	}
 	k := modelKey{data: datasetKey{useCase: 2, system: src, target: dst, uc2: cfg}}
-	m, err := p.modelServe(k)
+	m, err := p.modelServe(ctx, k)
 	if err != nil {
 		return nil, err
 	}
+	annotateServed(span, m)
 	input := features.Concat(prof, features.Labeled("src-dist", m.data.rep.Encode(srcRelTimes)))
-	return p.decodeProfile(m, input.Values, n, cfg.Seed)
+	return p.decodeProfile(ctx, m, input.Values, n, cfg.Seed)
 }
 
 func buildProfile(probe []perfsim.Run, metricNames []string, meanOnly bool) (*features.Profile, error) {
@@ -644,7 +704,7 @@ func buildProfile(probe []perfsim.Run, metricNames []string, meanOnly bool) (*fe
 	return features.FromRuns(probe, metricNames)
 }
 
-func (p *Predictor) decodeProfile(m *servedModel, input []float64, n int, seed uint64) (*Prediction, error) {
+func (p *Predictor) decodeProfile(ctx context.Context, m *servedModel, input []float64, n int, seed uint64) (*Prediction, error) {
 	if got, want := len(input), len(m.data.dataset.X[0]); got != want {
 		return nil, fmt.Errorf("core: profile has %d features, model expects %d", got, want)
 	}
@@ -654,6 +714,8 @@ func (p *Predictor) decodeProfile(m *servedModel, input []float64, n int, seed u
 	if n <= 0 {
 		n = 1000 // the paper's campaign size
 	}
+	_, span := obs.Start(ctx, "model.predict")
+	defer span.End()
 	predVec := m.reg.Predict(input)
 	predicted := m.data.rep.Decode(predVec, n, randx.New(seed^0xD1B54A32D192ED03))
 	return &Prediction{
@@ -671,19 +733,24 @@ func (p *Predictor) decodeProfile(m *servedModel, input []float64, n int, seed u
 // ml.PredictBatch. Result i is decoded from a per-index seed stream
 // whose first entry matches PredictUC1Profile exactly, so a batch of
 // one is bit-identical to the single-profile path.
-func (p *Predictor) PredictUC1ProfileBatch(system string, probes [][]perfsim.Run, n int, cfg UC1Config) ([]*Prediction, error) {
+func (p *Predictor) PredictUC1ProfileBatch(ctx context.Context, system string, probes [][]perfsim.Run, n int, cfg UC1Config) ([]*Prediction, error) {
 	if len(probes) == 0 {
 		return nil, fmt.Errorf("core: empty profile batch")
 	}
+	ctx, span := obs.Start(ctx, "predictor.uc1_batch")
+	defer span.End()
+	span.SetAttr("system", system)
+	span.SetAttr("profiles", len(probes))
 	sd, err := p.system(system)
 	if err != nil {
 		return nil, err
 	}
 	k := modelKey{data: datasetKey{useCase: 1, system: system, uc1: cfg}}
-	m, err := p.modelServe(k)
+	m, err := p.modelServe(ctx, k)
 	if err != nil {
 		return nil, err
 	}
+	annotateServed(span, m)
 	want := len(m.data.dataset.X[0])
 	rows := make([][]float64, len(probes))
 	for i, probe := range probes {
@@ -702,7 +769,7 @@ func (p *Predictor) PredictUC1ProfileBatch(system string, probes [][]perfsim.Run
 	if n <= 0 {
 		n = 1000 // the paper's campaign size
 	}
-	vecs := ml.PredictBatch(m.reg, rows)
+	vecs := ml.PredictBatch(ctx, m.reg, rows)
 	out := make([]*Prediction, len(probes))
 	for i, vec := range vecs {
 		seed := cfg.Seed + uint64(i)*0x9E3779B97F4A7C15
@@ -722,7 +789,9 @@ func (p *Predictor) PredictUC1ProfileBatch(system string, probes [][]perfsim.Run
 // trained concurrently on the shared worker pool; the first failure
 // cancels the remaining work. Warming is strict: it never falls back,
 // so a failure here surfaces broken configurations at startup.
-func (p *Predictor) Warm(uc1 []UC1Config, uc2 []UC2Config) error {
+func (p *Predictor) Warm(ctx context.Context, uc1 []UC1Config, uc2 []UC2Config) error {
+	ctx, span := obs.Start(ctx, "predictor.warm")
+	defer span.End()
 	type warmItem struct {
 		key  modelKey
 		desc string
@@ -747,8 +816,9 @@ func (p *Predictor) Warm(uc1 []UC1Config, uc2 []UC2Config) error {
 			}
 		}
 	}
-	return parallel.ForEach(context.Background(), len(items), 0, func(_ context.Context, i int) error {
-		if _, _, err := p.modelStrict(items[i].key); err != nil {
+	span.SetAttr("models", len(items))
+	return parallel.ForEach(ctx, len(items), 0, func(ctx context.Context, i int) error {
+		if _, _, err := p.modelStrict(ctx, items[i].key); err != nil {
 			return fmt.Errorf("core: warm %s: %w", items[i].desc, err)
 		}
 		return nil

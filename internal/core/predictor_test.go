@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync"
@@ -21,7 +22,7 @@ func TestPredictorMatchesBatchPredict(t *testing.T) {
 	bench := db.Systems[0].Benchmarks[0].Workload.ID()
 	sys := db.Systems[0].SystemName
 
-	got, err := p.PredictUC1(sys, bench, cfg)
+	got, err := p.PredictUC1(context.Background(), sys, bench, cfg)
 	if err != nil {
 		t.Fatalf("predictor: %v", err)
 	}
@@ -52,7 +53,7 @@ func TestPredictorCacheHitSkipsRefit(t *testing.T) {
 	sys := db.Systems[0].SystemName
 	bench := db.Systems[0].Benchmarks[1].Workload.ID()
 
-	first, err := p.PredictUC1(sys, bench, cfg)
+	first, err := p.PredictUC1(context.Background(), sys, bench, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestPredictorCacheHitSkipsRefit(t *testing.T) {
 		t.Errorf("after first request: stats = %+v, want 1 miss / 0 hits", s0)
 	}
 
-	second, err := p.PredictUC1(sys, bench, cfg)
+	second, err := p.PredictUC1(context.Background(), sys, bench, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestPredictorCacheHitSkipsRefit(t *testing.T) {
 
 	// A different benchmark shares the dataset but needs its own fit.
 	other := db.Systems[0].Benchmarks[2].Workload.ID()
-	if _, err := p.PredictUC1(sys, other, cfg); err != nil {
+	if _, err := p.PredictUC1(context.Background(), sys, other, cfg); err != nil {
 		t.Fatal(err)
 	}
 	s2 := p.CacheStats()
@@ -100,13 +101,13 @@ func TestPredictorUnknownIDs(t *testing.T) {
 	p := NewPredictor(db)
 	cfg := predictorConfig()
 
-	if _, err := p.PredictUC1("vax", "specomp/376", cfg); !errors.Is(err, ErrUnknownSystem) {
+	if _, err := p.PredictUC1(context.Background(), "vax", "specomp/376", cfg); !errors.Is(err, ErrUnknownSystem) {
 		t.Errorf("unknown system: got %v, want ErrUnknownSystem", err)
 	}
-	if _, err := p.PredictUC1(db.Systems[0].SystemName, "nosuite/nobench", cfg); !errors.Is(err, ErrUnknownBenchmark) {
+	if _, err := p.PredictUC1(context.Background(), db.Systems[0].SystemName, "nosuite/nobench", cfg); !errors.Is(err, ErrUnknownBenchmark) {
 		t.Errorf("unknown benchmark: got %v, want ErrUnknownBenchmark", err)
 	}
-	if _, err := p.PredictUC2("vax", "intel", "specomp/376", UC2Config{Seed: 1}); !errors.Is(err, ErrUnknownSystem) {
+	if _, err := p.PredictUC2(context.Background(), "vax", "intel", "specomp/376", UC2Config{Seed: 1}); !errors.Is(err, ErrUnknownSystem) {
 		t.Errorf("UC2 unknown source: got %v, want ErrUnknownSystem", err)
 	}
 }
@@ -126,7 +127,7 @@ func TestPredictorConcurrentIdenticalRequests(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			preds[g], errs[g] = p.PredictUC1(sys, bench, cfg)
+			preds[g], errs[g] = p.PredictUC1(context.Background(), sys, bench, cfg)
 		}(g)
 	}
 	wg.Wait()
@@ -159,7 +160,7 @@ func TestPredictorProfilePaths(t *testing.T) {
 	// UC1 from a raw probe profile: an "unseen" application standing in
 	// via the benchmark's reserved probe runs.
 	cfg := predictorConfig()
-	pred, err := p.PredictUC1Profile(sys, b.ProbeRuns[:10], 500, cfg)
+	pred, err := p.PredictUC1Profile(context.Background(), sys, b.ProbeRuns[:10], 500, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestPredictorProfilePaths(t *testing.T) {
 
 	// UC2 from source-system probe runs plus the measured source sample.
 	src, dst := db.Systems[0].SystemName, db.Systems[1].SystemName
-	pred2, err := p.PredictUC2Profile(src, dst, b.Runs[:50], b.RelTimes(), 300, UC2Config{Rep: distrep.PearsonRnd, Seed: 7})
+	pred2, err := p.PredictUC2Profile(context.Background(), src, dst, b.Runs[:50], b.RelTimes(), 300, UC2Config{Rep: distrep.PearsonRnd, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestPredictorProfilePaths(t *testing.T) {
 	}
 
 	// Wrong feature width must be rejected, not silently mispredicted.
-	if _, err := p.PredictUC2Profile(src, dst, b.Runs[:50], []float64{1}, 300, UC2Config{Seed: 7}); err == nil {
+	if _, err := p.PredictUC2Profile(context.Background(), src, dst, b.Runs[:50], []float64{1}, 300, UC2Config{Seed: 7}); err == nil {
 		t.Error("UC2 profile with 1 source rel time should fail")
 	}
 }
@@ -195,7 +196,7 @@ func TestPredictorWarm(t *testing.T) {
 	db := testCampaign(t)
 	p := NewPredictor(db)
 	cfg := predictorConfig()
-	if err := p.Warm([]UC1Config{cfg}, nil); err != nil {
+	if err := p.Warm(context.Background(), []UC1Config{cfg}, nil); err != nil {
 		t.Fatal(err)
 	}
 	warmMisses := p.CacheStats().Misses
@@ -204,7 +205,7 @@ func TestPredictorWarm(t *testing.T) {
 	}
 	// A profile request against the warmed full model is a pure hit.
 	b := &db.Systems[0].Benchmarks[0]
-	pred, err := p.PredictUC1Profile(db.Systems[0].SystemName, b.ProbeRuns[:10], 100, cfg)
+	pred, err := p.PredictUC1Profile(context.Background(), db.Systems[0].SystemName, b.ProbeRuns[:10], 100, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestPredictorProfileBatch(t *testing.T) {
 		db.Systems[0].Benchmarks[2].ProbeRuns[:10],
 	}
 
-	batch, err := p.PredictUC1ProfileBatch(sys, probes, 200, cfg)
+	batch, err := p.PredictUC1ProfileBatch(context.Background(), sys, probes, 200, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestPredictorProfileBatch(t *testing.T) {
 
 	// Entry 0 must be bit-identical to the single-profile path (same
 	// model, same decode stream).
-	single, err := p.PredictUC1Profile(sys, probes[0], 200, cfg)
+	single, err := p.PredictUC1Profile(context.Background(), sys, probes[0], 200, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestPredictorProfileBatch(t *testing.T) {
 	}
 
 	// Repeat batches are deterministic.
-	again, err := p.PredictUC1ProfileBatch(sys, probes, 200, cfg)
+	again, err := p.PredictUC1ProfileBatch(context.Background(), sys, probes, 200, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,10 +272,10 @@ func TestPredictorProfileBatch(t *testing.T) {
 		t.Errorf("batch path trained %d models, want 1", s.Misses)
 	}
 
-	if _, err := p.PredictUC1ProfileBatch(sys, nil, 0, cfg); err == nil {
+	if _, err := p.PredictUC1ProfileBatch(context.Background(), sys, nil, 0, cfg); err == nil {
 		t.Error("empty batch should fail")
 	}
-	if _, err := p.PredictUC1ProfileBatch("vax", probes, 0, cfg); !errors.Is(err, ErrUnknownSystem) {
+	if _, err := p.PredictUC1ProfileBatch(context.Background(), "vax", probes, 0, cfg); !errors.Is(err, ErrUnknownSystem) {
 		t.Errorf("unknown system: got %v, want ErrUnknownSystem", err)
 	}
 }
@@ -285,17 +286,17 @@ func TestPredictorWarmParallelDeterministic(t *testing.T) {
 	db := testCampaign(t)
 	cfg := predictorConfig()
 	warmed := NewPredictor(db)
-	if err := warmed.Warm([]UC1Config{cfg}, []UC2Config{{Rep: distrep.PearsonRnd, Seed: 7}}); err != nil {
+	if err := warmed.Warm(context.Background(), []UC1Config{cfg}, []UC2Config{{Rep: distrep.PearsonRnd, Seed: 7}}); err != nil {
 		t.Fatal(err)
 	}
 	cold := NewPredictor(db)
 	b := &db.Systems[0].Benchmarks[0]
 	sys := db.Systems[0].SystemName
-	pw, err := warmed.PredictUC1Profile(sys, b.ProbeRuns[:10], 100, cfg)
+	pw, err := warmed.PredictUC1Profile(context.Background(), sys, b.ProbeRuns[:10], 100, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pc, err := cold.PredictUC1Profile(sys, b.ProbeRuns[:10], 100, cfg)
+	pc, err := cold.PredictUC1Profile(context.Background(), sys, b.ProbeRuns[:10], 100, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

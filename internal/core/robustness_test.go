@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"reflect"
@@ -72,13 +73,13 @@ func TestPredictorQuarantinedBenchmarkErrors(t *testing.T) {
 		intel.Benchmarks[0].Runs[i].Seconds = math.NaN()
 	}
 	p := NewPredictor(db)
-	_, err := p.PredictUC1("intel", bad, robustConfig())
+	_, err := p.PredictUC1(context.Background(), "intel", bad, robustConfig())
 	if !errors.Is(err, ErrBenchmarkQuarantined) {
 		t.Fatalf("all-runs-quarantined benchmark: err = %v, want ErrBenchmarkQuarantined", err)
 	}
 	// The rest of the system must keep serving.
 	ok := intel.Benchmarks[1].Workload.ID()
-	pred, err := p.PredictUC1("intel", ok, robustConfig())
+	pred, err := p.PredictUC1(context.Background(), "intel", ok, robustConfig())
 	if err != nil {
 		t.Fatalf("healthy benchmark after quarantine: %v", err)
 	}
@@ -102,7 +103,7 @@ func TestPredictorSingleSurvivingProbeRun(t *testing.T) {
 		b.ProbeRuns[i].Seconds = math.NaN()
 	}
 	p := NewPredictor(db)
-	pred, err := p.PredictUC1("intel", b.Workload.ID(), robustConfig())
+	pred, err := p.PredictUC1(context.Background(), "intel", b.Workload.ID(), robustConfig())
 	if err != nil {
 		t.Fatalf("single surviving probe run must stay usable: %v", err)
 	}
@@ -127,8 +128,8 @@ func TestPredictorFaultSeedDeterminism(t *testing.T) {
 	p1, p2 := NewPredictor(f1), NewPredictor(f2)
 	for _, b := range f1.Systems[0].Benchmarks[:3] {
 		id := b.Workload.ID()
-		a, err1 := p1.PredictUC1("intel", id, robustConfig())
-		c, err2 := p2.PredictUC1("intel", id, robustConfig())
+		a, err1 := p1.PredictUC1(context.Background(), "intel", id, robustConfig())
+		c, err2 := p2.PredictUC1(context.Background(), "intel", id, robustConfig())
 		if (err1 == nil) != (err2 == nil) {
 			t.Fatalf("%s: same faults seed, different usability: %v vs %v", id, err1, err2)
 		}
@@ -158,11 +159,11 @@ func TestPredictorSurgicalQuarantine(t *testing.T) {
 	// a single bit.
 	for _, b := range db.Systems[1].Benchmarks {
 		id := b.Workload.ID()
-		want, err := clean.PredictUC1("amd", id, robustConfig())
+		want, err := clean.PredictUC1(context.Background(), "amd", id, robustConfig())
 		if err != nil {
 			t.Fatalf("clean amd %s: %v", id, err)
 		}
-		got, err := dirty.PredictUC1("amd", id, robustConfig())
+		got, err := dirty.PredictUC1(context.Background(), "amd", id, robustConfig())
 		if err != nil {
 			t.Fatalf("amd %s with intel-only faults: %v", id, err)
 		}
@@ -174,8 +175,8 @@ func TestPredictorSurgicalQuarantine(t *testing.T) {
 	// validation of clean data is a pass-through.
 	cloned := NewPredictor(cloneDB(t, db))
 	id := db.Systems[0].Benchmarks[0].Workload.ID()
-	want, _ := clean.PredictUC1("intel", id, robustConfig())
-	got, err := cloned.PredictUC1("intel", id, robustConfig())
+	want, _ := clean.PredictUC1(context.Background(), "intel", id, robustConfig())
+	got, err := cloned.PredictUC1(context.Background(), "intel", id, robustConfig())
 	if err != nil || !reflect.DeepEqual(want.Predicted, got.Predicted) {
 		t.Errorf("zero-rate clone predictions diverged (err=%v)", err)
 	}
@@ -193,7 +194,7 @@ func TestPredictorFitHookKNNFallback(t *testing.T) {
 	cfg := robustConfig()
 	cfg.Model = RandomForest
 	id := db.Systems[0].Benchmarks[0].Workload.ID()
-	pred, err := p.PredictUC1("intel", id, cfg)
+	pred, err := p.PredictUC1(context.Background(), "intel", id, cfg)
 	if err != nil {
 		t.Fatalf("killed primary fit must fall back, got error: %v", err)
 	}
@@ -214,7 +215,7 @@ func TestPredictorFitHookKNNFallback(t *testing.T) {
 	// Healing the fit path does not help while the breaker is open:
 	// the fallback keeps serving (no thundering refit herd).
 	p.SetFitHook(nil)
-	pred2, err := p.PredictUC1("intel", id, cfg)
+	pred2, err := p.PredictUC1(context.Background(), "intel", id, cfg)
 	if err != nil || pred2.Fallback != "knn" {
 		t.Errorf("open breaker must keep serving the fallback, got (%+v, %v)", pred2, err)
 	}
@@ -225,13 +226,13 @@ func TestPredictorStaleFallback(t *testing.T) {
 	p := NewPredictor(db)
 	cfg := robustConfig()
 	id := db.Systems[0].Benchmarks[0].Workload.ID()
-	want, err := p.PredictUC1("intel", id, cfg)
+	want, err := p.PredictUC1(context.Background(), "intel", id, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	p.Refresh()
 	p.SetFitHook(func(FitInfo) error { return errors.New("refit killed") })
-	got, err := p.PredictUC1("intel", id, cfg)
+	got, err := p.PredictUC1(context.Background(), "intel", id, cfg)
 	if err != nil {
 		t.Fatalf("stale fallback must serve, got: %v", err)
 	}
@@ -257,13 +258,13 @@ func TestPredictorBreakerRecovery(t *testing.T) {
 	p.SetFitHook(func(FitInfo) error { return errors.New("total outage") })
 	cfg := robustConfig()
 	id := db.Systems[0].Benchmarks[0].Workload.ID()
-	_, err := p.PredictUC1("intel", id, cfg)
+	_, err := p.PredictUC1(context.Background(), "intel", id, cfg)
 	if !errors.Is(err, ErrFitFailed) {
 		t.Fatalf("first failed fit: err = %v, want ErrFitFailed", err)
 	}
 	// The breaker is now open: the next request is rejected up front
 	// with a retry hint instead of re-attempting the fit.
-	_, err = p.PredictUC1("intel", id, cfg)
+	_, err = p.PredictUC1(context.Background(), "intel", id, cfg)
 	var boe *BreakerOpenError
 	if !errors.As(err, &boe) {
 		t.Fatalf("open breaker: err = %v, want *BreakerOpenError", err)
@@ -278,7 +279,7 @@ func TestPredictorBreakerRecovery(t *testing.T) {
 	// probe refits and the breaker closes.
 	p.SetFitHook(nil)
 	now = now.Add(2 * time.Second)
-	pred, err := p.PredictUC1("intel", id, cfg)
+	pred, err := p.PredictUC1(context.Background(), "intel", id, cfg)
 	if err != nil {
 		t.Fatalf("half-open probe after healing: %v", err)
 	}
@@ -301,7 +302,7 @@ func TestPredictorWarmIsStrict(t *testing.T) {
 		}
 		return errors.New("killed")
 	})
-	if err := p.Warm([]UC1Config{robustConfig()}, nil); !errors.Is(err, ErrFitFailed) {
+	if err := p.Warm(context.Background(), []UC1Config{robustConfig()}, nil); !errors.Is(err, ErrFitFailed) {
 		t.Errorf("Warm must surface fit failures, not fall back: err = %v", err)
 	}
 }

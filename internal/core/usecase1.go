@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cv"
@@ -200,7 +201,7 @@ func evaluateLOGO(dataset *ml.Dataset, rel [][]float64, ids []string,
 	for i, s := range splits {
 		idx[s.Group] = i
 	}
-	_, err = cv.EvaluateParallel(splits, func(split cv.Split) ([]float64, error) {
+	_, err = cv.EvaluateParallel(context.Background(), splits, func(split cv.Split) ([]float64, error) {
 		i := idx[split.Group]
 		reg, err := newModel(model, seeds[i], opts)
 		if err != nil {
@@ -210,7 +211,7 @@ func evaluateLOGO(dataset *ml.Dataset, rel [][]float64, ids []string,
 			return nil, err
 		}
 		test := split.Test[0]
-		predVec := ml.PredictBatch(reg, [][]float64{dataset.X[test]})[0]
+		predVec := ml.PredictBatch(context.Background(), reg, [][]float64{dataset.X[test]})[0]
 		actualRel := rel[test]
 		predRel := rep.Decode(predVec, len(actualRel), rngs[i])
 		scores[i] = score(split.Group, predRel, actualRel)
@@ -246,7 +247,7 @@ func evaluateLOGOTolerant(dataset *ml.Dataset, rel [][]float64, ids []string,
 	for i, s := range splits {
 		idx[s.Group] = i
 	}
-	results := cv.EvaluateTolerant(splits, func(split cv.Split) ([]float64, error) {
+	results := cv.EvaluateTolerant(context.Background(), splits, func(split cv.Split) ([]float64, error) {
 		i := idx[split.Group]
 		reg, err := newModel(model, seeds[i], opts)
 		if err != nil {
@@ -256,7 +257,7 @@ func evaluateLOGOTolerant(dataset *ml.Dataset, rel [][]float64, ids []string,
 			return nil, err
 		}
 		test := split.Test[0]
-		predVec := ml.PredictBatch(reg, [][]float64{dataset.X[test]})[0]
+		predVec := ml.PredictBatch(context.Background(), reg, [][]float64{dataset.X[test]})[0]
 		actualRel := rel[test]
 		predRel := rep.Decode(predVec, len(actualRel), rngs[i])
 		scores[i] = score(split.Group, predRel, actualRel)

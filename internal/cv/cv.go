@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -98,11 +99,15 @@ type Result struct {
 // eval receives the split and must return one value per test example
 // (or any summary slice). The first error cancels the evaluation:
 // splits that have not started are never run, and the error is returned
-// once in-flight splits finish.
-func EvaluateParallel(splits []Split, eval func(Split) ([]float64, error)) ([]Result, error) {
+// once in-flight splits finish. When ctx carries an obs span, every
+// fold records a "cv.fold" child span tagged with its group.
+func EvaluateParallel(ctx context.Context, splits []Split, eval func(Split) ([]float64, error)) ([]Result, error) {
 	results := make([]Result, len(splits))
-	err := parallel.ForEach(context.Background(), len(splits), 0, func(_ context.Context, i int) error {
+	err := parallel.ForEach(ctx, len(splits), 0, func(ctx context.Context, i int) error {
 		s := splits[i]
+		_, span := obs.Start(ctx, "cv.fold")
+		span.SetAttr("group", s.Group)
+		defer span.End()
 		vals, err := eval(s)
 		if err != nil {
 			return fmt.Errorf("cv: split %q: %w", s.Group, err)
@@ -122,12 +127,16 @@ func EvaluateParallel(splits []Split, eval func(Split) ([]float64, error)) ([]Re
 // continues. This is the driver for robustness sweeps over dirty
 // campaigns, where one poisoned fold should cost one score rather than
 // the whole evaluation.
-func EvaluateTolerant(splits []Split, eval func(Split) ([]float64, error)) []Result {
+func EvaluateTolerant(ctx context.Context, splits []Split, eval func(Split) ([]float64, error)) []Result {
 	results := make([]Result, len(splits))
-	// The item function never returns an error, so ForEach cannot
-	// cancel: every split runs to completion.
-	_ = parallel.ForEach(context.Background(), len(splits), 0, func(_ context.Context, i int) error {
+	// The item function never returns an error and cancellation is
+	// stripped from the context (only the obs span rides along), so
+	// every split runs to completion.
+	_ = parallel.ForEach(context.WithoutCancel(ctx), len(splits), 0, func(ctx context.Context, i int) error {
 		s := splits[i]
+		_, span := obs.Start(ctx, "cv.fold")
+		span.SetAttr("group", s.Group)
+		defer span.End()
 		vals, err := eval(s)
 		results[i] = Result{Group: s.Group, Values: vals, Err: err}
 		return nil

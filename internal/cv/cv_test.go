@@ -1,6 +1,7 @@
 package cv
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -95,7 +96,7 @@ func TestKFoldErrors(t *testing.T) {
 
 func TestEvaluateParallelOrderAndValues(t *testing.T) {
 	splits, _ := LeaveOneGroupOut([]string{"a", "b", "c", "d"})
-	results, err := EvaluateParallel(splits, func(s Split) ([]float64, error) {
+	results, err := EvaluateParallel(context.Background(), splits, func(s Split) ([]float64, error) {
 		return []float64{float64(s.Test[0])}, nil
 	})
 	if err != nil {
@@ -121,7 +122,7 @@ func TestEvaluateParallelOrderAndValues(t *testing.T) {
 func TestEvaluateParallelPropagatesError(t *testing.T) {
 	splits, _ := KFold(6, 3)
 	boom := errors.New("boom")
-	_, err := EvaluateParallel(splits, func(s Split) ([]float64, error) {
+	_, err := EvaluateParallel(context.Background(), splits, func(s Split) ([]float64, error) {
 		if s.Test[0] == 2 {
 			return nil, boom
 		}
@@ -154,7 +155,7 @@ func TestEvaluateParallelBoundsGoroutines(t *testing.T) {
 	}
 	base := runtime.NumGoroutine()
 	var peak atomic.Int64
-	if _, err := EvaluateParallel(splits, func(s Split) ([]float64, error) {
+	if _, err := EvaluateParallel(context.Background(), splits, func(s Split) ([]float64, error) {
 		if g := int64(runtime.NumGoroutine()); g > peak.Load() {
 			peak.Store(g)
 		}
@@ -178,7 +179,7 @@ func TestEvaluateParallelFirstErrorCancelsRemaining(t *testing.T) {
 	splits, _ := LeaveOneGroupOut(groups)
 	boom := errors.New("boom")
 	var ran atomic.Int64
-	_, err := EvaluateParallel(splits, func(s Split) ([]float64, error) {
+	_, err := EvaluateParallel(context.Background(), splits, func(s Split) ([]float64, error) {
 		n := ran.Add(1)
 		if n == 1 {
 			return nil, boom
@@ -199,7 +200,7 @@ func TestEvaluateTolerantRecordsFailuresAndContinues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results := EvaluateTolerant(splits, func(s Split) ([]float64, error) {
+	results := EvaluateTolerant(context.Background(), splits, func(s Split) ([]float64, error) {
 		if s.Group == "b" {
 			return nil, errors.New("poisoned fold")
 		}

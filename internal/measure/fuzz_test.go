@@ -1,0 +1,120 @@
+package measure
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/perfsim"
+)
+
+// decodeFuzzRuns deterministically expands a fuzz blob into a run set:
+// byte 0 picks the schema width, byte 1 the promised count, byte 2 the
+// policy, and the rest is consumed as float64 bits, eight bytes per
+// value. The decoder hits every defect class the validator knows about
+// because raw bit patterns include NaNs, infinities, negatives, and
+// zero, and ragged tails produce truncated/drifted schemas.
+func decodeFuzzRuns(data []byte) (runs []perfsim.Run, nMetrics, expected int, pol ValidationPolicy) {
+	if len(data) < 3 {
+		return nil, 1, 0, ValidationPolicy{}
+	}
+	nMetrics = int(data[0]%8) + 1
+	expected = int(data[1] % 32)
+	pol = ValidationPolicy{Repair: data[2]%2 == 1}
+	data = data[3:]
+	vals := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(data[:8])))
+		data = data[8:]
+	}
+	// One run consumes 1 (seconds) + k values where k varies around the
+	// schema width so truncation and drift both occur.
+	for i := 0; i < len(vals); {
+		sec := vals[i]
+		i++
+		k := nMetrics + int(math.Abs(sec))%3 - 1 // nMetrics-1 .. nMetrics+1
+		if k < 0 {
+			k = 0
+		}
+		if i+k > len(vals) {
+			k = len(vals) - i
+		}
+		runs = append(runs, perfsim.Run{Seconds: sec, Metrics: vals[i : i+k]})
+		i += k
+	}
+	return runs, nMetrics, expected, pol
+}
+
+// FuzzValidateRuns checks the ingest validator's invariants on
+// arbitrary run sets: it never panics, its counters add up, every
+// survivor passes ValidateRun, revalidation is a fixed point, and the
+// input is never mutated.
+func FuzzValidateRuns(f *testing.F) {
+	mk := func(vals ...float64) []byte {
+		b := []byte{3, 10, 1}
+		for _, v := range vals {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add(mk(1.5, 10, 20, 30, 2.5, 11, 21, 31))                      // clean pair
+	f.Add(mk(math.NaN(), 1, 2, 3, 1.0, 4, 5, 6))                     // NaN duration
+	f.Add(mk(-1, 1, 2, 3))                                           // negative duration
+	f.Add(mk(1, math.Inf(1), 2, 3, 1, 1, 2, 3, 1, 1, 2, 3))         // Inf counter (repairable)
+	f.Add(mk(1, -5, 2, 3, 1, 1, 2, 3))                               // negative counter
+	f.Add([]byte{1, 31, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})       // ragged tail
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runs, nMetrics, expected, pol := decodeFuzzRuns(data)
+		orig := make([]perfsim.Run, len(runs))
+		for i, r := range runs {
+			orig[i] = perfsim.Run{Seconds: r.Seconds, Metrics: append([]float64(nil), r.Metrics...)}
+		}
+
+		kept, rep := ValidateRuns(runs, nMetrics, expected, pol)
+
+		if rep.Total != len(runs) {
+			t.Fatalf("Total = %d, want %d", rep.Total, len(runs))
+		}
+		if rep.Kept+rep.Quarantined != rep.Total {
+			t.Fatalf("Kept %d + Quarantined %d != Total %d", rep.Kept, rep.Quarantined, rep.Total)
+		}
+		if rep.Kept != len(kept) {
+			t.Fatalf("Kept = %d but %d runs returned", rep.Kept, len(kept))
+		}
+		if rep.Repaired > rep.Kept {
+			t.Fatalf("Repaired %d > Kept %d", rep.Repaired, rep.Kept)
+		}
+		wantMissing := 0
+		if expected > len(runs) {
+			wantMissing = expected - len(runs)
+		}
+		if rep.Missing != wantMissing {
+			t.Fatalf("Missing = %d, want %d", rep.Missing, wantMissing)
+		}
+		for i, r := range kept {
+			if defects := ValidateRun(r, nMetrics); defects != nil {
+				t.Fatalf("survivor %d still defective (%v): %+v", i, defects, r)
+			}
+		}
+		// Validation is a fixed point: the survivors revalidate clean.
+		again, rep2 := ValidateRuns(kept, nMetrics, 0, pol)
+		if rep2.Quarantined != 0 || rep2.Repaired != 0 || len(again) != len(kept) {
+			t.Fatalf("revalidation not a fixed point: %+v", rep2)
+		}
+		// The input slice was not mutated.
+		for i := range runs {
+			if runs[i].Seconds != orig[i].Seconds && !(math.IsNaN(runs[i].Seconds) && math.IsNaN(orig[i].Seconds)) {
+				t.Fatalf("input run %d seconds mutated", i)
+			}
+			for m := range runs[i].Metrics {
+				a, b := runs[i].Metrics[m], orig[i].Metrics[m]
+				if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+					t.Fatalf("input run %d metric %d mutated: %v != %v", i, m, a, b)
+				}
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package ml
 import (
 	"context"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -19,9 +20,16 @@ type BatchPredictor interface {
 // row-level Predict is invoked concurrently, which is safe because
 // fitted Regressors are immutable and Predict is read-only.
 //
+// The context propagates the obs span, if any, into a
+// "model.predict_batch" child span; cancellation is deliberately NOT
+// honored — a batch always fills every output row, exactly as before
+// the context parameter existed, so callers never see partial results.
 // Row order is preserved and results are identical to a sequential
 // Predict loop.
-func PredictBatch(r Regressor, X [][]float64) [][]float64 {
+func PredictBatch(ctx context.Context, r Regressor, X [][]float64) [][]float64 {
+	ctx, span := obs.Start(context.WithoutCancel(ctx), "model.predict_batch")
+	span.SetAttr("rows", len(X))
+	defer span.End()
 	if bp, ok := r.(BatchPredictor); ok {
 		return bp.PredictBatch(X)
 	}
@@ -30,7 +38,7 @@ func PredictBatch(r Regressor, X [][]float64) [][]float64 {
 	}
 	out := make([][]float64, len(X))
 	// Predict never fails, so fn returns nil and the pool cannot abort.
-	_ = parallel.ForEach(context.Background(), len(X), 0, func(_ context.Context, i int) error {
+	_ = parallel.ForEach(ctx, len(X), 0, func(_ context.Context, i int) error {
 		out[i] = r.Predict(X[i])
 		return nil
 	})

@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -32,7 +33,7 @@ func TestPredictBatchMatchesSequentialLoop(t *testing.T) {
 	for i := range X {
 		X[i] = []float64{float64(i) * 0.1}
 	}
-	got := PredictBatch(affine{}, X)
+	got := PredictBatch(context.Background(), affine{}, X)
 	if len(got) != len(X) {
 		t.Fatalf("got %d rows, want %d", len(got), len(X))
 	}
@@ -47,17 +48,17 @@ func TestPredictBatchMatchesSequentialLoop(t *testing.T) {
 }
 
 func TestPredictBatchSingleRowAndEmpty(t *testing.T) {
-	got := PredictBatch(affine{}, [][]float64{{3}})
+	got := PredictBatch(context.Background(), affine{}, [][]float64{{3}})
 	if len(got) != 1 || got[0][0] != 7 {
 		t.Fatalf("single-row batch = %v, want [[7 ...]]", got)
 	}
-	if got := PredictBatch(affine{}, nil); len(got) != 0 {
+	if got := PredictBatch(context.Background(), affine{}, nil); len(got) != 0 {
 		t.Fatalf("empty batch returned %d rows", len(got))
 	}
 }
 
 func TestPredictBatchPrefersBatchPredictor(t *testing.T) {
-	got := PredictBatch(batchMarker{}, [][]float64{{1}, {2}})
+	got := PredictBatch(context.Background(), batchMarker{}, [][]float64{{1}, {2}})
 	if len(got) != 2 || got[0][0] != -1 || got[1][0] != -1 {
 		t.Fatalf("BatchPredictor not used: %v", got)
 	}

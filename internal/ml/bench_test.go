@@ -1,6 +1,7 @@
 package ml_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ml"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/ml/knn"
 	"repro/internal/ml/linreg"
 	"repro/internal/ml/xgb"
+	"repro/internal/obs"
 	"repro/internal/randx"
 )
 
@@ -72,5 +74,43 @@ func BenchmarkRidgeFit(b *testing.B) {
 		if err := r.Fit(d); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPredictBatch is the tier-1 serving hot path: a fitted model
+// pushed through the parallel batch predictor. benchcheck guards its
+// ns/op against BENCH_baseline.json.
+func BenchmarkPredictBatch(b *testing.B) {
+	d := uc1Shaped(5)
+	r := knn.New(15)
+	if err := r.Fit(d); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := ml.PredictBatch(ctx, r, d.X); len(out) != len(d.X) {
+			b.Fatal("short batch")
+		}
+	}
+}
+
+// BenchmarkPredictBatchTraced is the same path under an active obs
+// trace — the pair quantifies the instrumentation overhead recorded in
+// EXPERIMENTS.md (acceptance bar: <= 5%).
+func BenchmarkPredictBatchTraced(b *testing.B) {
+	d := uc1Shaped(5)
+	r := knn.New(15)
+	if err := r.Fit(d); err != nil {
+		b.Fatal(err)
+	}
+	tracer := obs.NewTracer(obs.Config{BufferSize: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, span := tracer.Start(context.Background(), "bench.predict_batch")
+		if out := ml.PredictBatch(ctx, r, d.X); len(out) != len(d.X) {
+			b.Fatal("short batch")
+		}
+		span.End()
 	}
 }

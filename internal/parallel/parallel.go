@@ -16,6 +16,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Workers resolves a worker-count request: values <= 0 select
@@ -46,7 +49,35 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 	if n <= 0 {
 		return ctx.Err()
 	}
-	if workers = Workers(workers, n); workers == 1 {
+	workers = Workers(workers, n)
+
+	// When the context carries a trace, the whole dispatch becomes one
+	// span that aggregates how long items sat queued before a worker
+	// picked them up (queue_wait) versus how long they actually ran
+	// (run_time). Untraced calls skip every clock read.
+	if cctx, span := obs.Start(ctx, "parallel.foreach"); span != nil {
+		ctx = cctx
+		span.SetAttr("items", n)
+		span.SetAttr("workers", workers)
+		clk := span.Clock()
+		dispatched := clk()
+		var waitNS, runNS atomic.Int64
+		inner := fn
+		fn = func(ctx context.Context, i int) error {
+			t0 := clk()
+			waitNS.Add(int64(t0.Sub(dispatched)))
+			err := inner(ctx, i)
+			runNS.Add(int64(clk().Sub(t0)))
+			return err
+		}
+		defer func() {
+			span.SetAttr("queue_wait", time.Duration(waitNS.Load()))
+			span.SetAttr("run_time", time.Duration(runNS.Load()))
+			span.End()
+		}()
+	}
+
+	if workers == 1 {
 		// Sequential fast path: no goroutines, identical semantics.
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {

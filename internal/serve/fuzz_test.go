@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzPredictRequestDecode throws arbitrary bytes at the single-predict
+// wire path: JSON decode, field validation for both use cases, the
+// model/representation parsers, and the probe-profile conversion. None
+// of it may panic, and the validators must reject or accept — never
+// crash — whatever decodes.
+func FuzzPredictRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"system":"intel","benchmark":"npb/bt","seed":7}`))
+	f.Add([]byte(`{"source":"amd","target":"intel","benchmark":"npb/bt","model":"rf"}`))
+	f.Add([]byte(`{"system":"intel","probe_runs":[{"seconds":1.5,"metrics":[1,2,3]}],"n":200}`))
+	f.Add([]byte(`{"system":"intel","benchmark":"npb/bt","model":"svm","representation":"fourier"}`))
+	f.Add([]byte(`{"system":"intel","probe_runs":[{"seconds":-1,"metrics":[]}],"samples":-3,"bins":-1}`))
+	f.Add([]byte(`{"seed":18446744073709551615}`))
+	f.Add([]byte("{\"system\":\" \",\"benchmark\":\"\\u0000\"}"))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req PredictRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return // malformed JSON is the decoder's job to reject
+		}
+		for _, uc := range []int{1, 2} {
+			_ = validateRequest(&req, uc)
+		}
+		if m, err := parseModel(req.Model); err == nil && m.String() == "" {
+			t.Fatalf("parseModel(%q) accepted a nameless model", req.Model)
+		}
+		if _, err := parseRep(req.Representation); err == nil && req.Representation != "" {
+			// Accepted names must round-trip through the parser again.
+			if _, err2 := parseRep(req.Representation); err2 != nil {
+				t.Fatalf("parseRep(%q) not idempotent", req.Representation)
+			}
+		}
+		runs := req.probeRuns()
+		if len(runs) != len(req.ProbeRuns) {
+			t.Fatalf("toRuns dropped profiles: %d != %d", len(runs), len(req.ProbeRuns))
+		}
+		for i, r := range runs {
+			a, b := r.Seconds, req.ProbeRuns[i].Seconds
+			if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+				t.Fatalf("run %d seconds mangled: %v != %v", i, a, b)
+			}
+		}
+	})
+}
+
+// FuzzBatchPredictRequestDecode covers the batch wire path: decode plus
+// the handler's own cap/shape checks, mirroring handleUC1Batch's
+// validation order without spinning up a server.
+func FuzzBatchPredictRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"system":"intel","profiles":[[{"seconds":1,"metrics":[1,2]}]],"n":100,"seed":3}`))
+	f.Add([]byte(`{"system":"intel","profiles":[]}`))
+	f.Add([]byte(`{"profiles":[[{"seconds":1,"metrics":[1]}]]}`))
+	f.Add([]byte(`{"system":"intel","profiles":[[],[{"seconds":0,"metrics":null}]]}`))
+	f.Add([]byte(`{"system":"intel","profiles":null,"bins":2147483647}`))
+	f.Add([]byte(`{"pro`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req BatchPredictRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return
+		}
+		_, _ = parseModel(req.Model)
+		_, _ = parseRep(req.Representation)
+		for _, p := range req.Profiles {
+			if got := toRuns(p); len(got) != len(p) {
+				t.Fatalf("toRuns dropped profiles: %d != %d", len(got), len(p))
+			}
+		}
+	})
+}

@@ -115,7 +115,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, useCase i
 	//lint:allow lockcheck request-scoped worker already holds a pool slot (s.sem); freeing it is this goroutine's job
 	go func() {
 		defer func() { <-s.sem }()
-		p, err := s.predict(&req, useCase, model, rep)
+		p, err := s.predict(ctx, &req, useCase, model, rep)
 		done <- outcome{p, err}
 	}()
 
@@ -201,7 +201,7 @@ func (s *Server) handleUC1Batch(w http.ResponseWriter, r *http.Request) {
 	//lint:allow lockcheck request-scoped worker already holds a pool slot (s.sem); freeing it is this goroutine's job
 	go func() {
 		defer func() { <-s.sem }()
-		preds, err := s.pred.PredictUC1ProfileBatch(req.System, probes, req.N, cfg)
+		preds, err := s.pred.PredictUC1ProfileBatch(ctx, req.System, probes, req.N, cfg)
 		done <- outcome{preds, err}
 	}()
 
@@ -241,8 +241,10 @@ func (s *Server) handleUC1Batch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// predict dispatches to the cached predictor.
-func (s *Server) predict(req *PredictRequest, useCase int, model core.Model, rep distrep.Kind) (*core.Prediction, error) {
+// predict dispatches to the cached predictor. ctx carries the request
+// trace span; the predictor methods hang their fit/predict children
+// off it.
+func (s *Server) predict(ctx context.Context, req *PredictRequest, useCase int, model core.Model, rep distrep.Kind) (*core.Prediction, error) {
 	switch useCase {
 	case 1:
 		cfg := core.UC1Config{Rep: rep, Model: model, NumSamples: req.Samples, Bins: req.Bins, Seed: req.Seed}
@@ -250,15 +252,15 @@ func (s *Server) predict(req *PredictRequest, useCase int, model core.Model, rep
 			cfg.NumSamples = 10 // the paper's profile budget
 		}
 		if req.Benchmark != "" {
-			return s.pred.PredictUC1(req.System, req.Benchmark, cfg)
+			return s.pred.PredictUC1(ctx, req.System, req.Benchmark, cfg)
 		}
-		return s.pred.PredictUC1Profile(req.System, req.probeRuns(), req.N, cfg)
+		return s.pred.PredictUC1Profile(ctx, req.System, req.probeRuns(), req.N, cfg)
 	default:
 		cfg := core.UC2Config{Rep: rep, Model: model, Bins: req.Bins, Seed: req.Seed}
 		if req.Benchmark != "" {
-			return s.pred.PredictUC2(req.Source, req.Target, req.Benchmark, cfg)
+			return s.pred.PredictUC2(ctx, req.Source, req.Target, req.Benchmark, cfg)
 		}
-		return s.pred.PredictUC2Profile(req.Source, req.Target, req.probeRuns(), req.SourceRelTimes, req.N, cfg)
+		return s.pred.PredictUC2Profile(ctx, req.Source, req.Target, req.probeRuns(), req.SourceRelTimes, req.N, cfg)
 	}
 }
 

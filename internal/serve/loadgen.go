@@ -12,7 +12,7 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/numeric"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/randx"
 )
@@ -128,30 +128,31 @@ func Loadgen(ctx context.Context, opts LoadgenOptions) (*LoadgenResult, error) {
 	}
 	endpoint := fmt.Sprintf("%s/v1/predict/uc%d", strings.TrimRight(opts.URL, "/"), opts.UseCase)
 
+	// Latency tracking rides the same obs histograms the server itself
+	// uses for /v1/metrics, so self-benchmarking and serving share one
+	// measurement path (counts and means exact, percentiles from the
+	// log-space bins).
 	var (
-		mu               sync.Mutex
-		cold             []float64
-		warm             []float64
-		errs             int
-		coldSum, warmSum numeric.Accumulator
+		mu   sync.Mutex
+		errs int
 	)
+	cold := obs.NewLatencyHist()
+	warm := obs.NewLatencyHist()
 	start := clock()
 	// A canceled context just ends the run early; the partial counts are
 	// still the report, so the pool's ctx.Err() is deliberately dropped.
 	_ = parallel.ForEach(ctx, opts.Requests, opts.Concurrency, func(ctx context.Context, i int) error {
 		bench := opts.Benchmarks[i%len(opts.Benchmarks)]
 		hit, ms, err := loadgenOnce(ctx, client, endpoint, &opts, bench)
-		mu.Lock()
-		defer mu.Unlock()
 		switch {
 		case err != nil:
+			mu.Lock()
 			errs++
+			mu.Unlock()
 		case hit:
-			warm = append(warm, ms)
-			warmSum.Add(ms)
+			warm.ObserveMS(ms)
 		default:
-			cold = append(cold, ms)
-			coldSum.Add(ms)
+			cold.ObserveMS(ms)
 		}
 		return nil
 	})
@@ -161,8 +162,8 @@ func Loadgen(ctx context.Context, opts LoadgenOptions) (*LoadgenResult, error) {
 		Errors:   errs,
 		Duration: dur,
 		RPS:      float64(opts.Requests-errs) / dur.Seconds(),
-		Cold:     summarizeMS(int64(len(cold)), coldSum.Sum(), cold),
-		Warm:     summarizeMS(int64(len(warm)), warmSum.Sum(), warm),
+		Cold:     summaryFromHist(cold.Snapshot()),
+		Warm:     summaryFromHist(warm.Snapshot()),
 	}
 	return res, nil
 }

@@ -5,22 +5,21 @@ import (
 	"expvar"
 	"net/http"
 	"runtime"
-	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
-// latencyCap bounds the per-endpoint latency reservoir; percentiles are
-// computed over the most recent latencyCap observations.
-const latencyCap = 8192
-
-// Metrics aggregates the server's observability state. The counters are
-// expvar types, but the set is owned by the server instance rather than
-// published to the global expvar registry, so multiple servers (tests,
-// loadgen self-hosting) never collide on variable names; /metrics
-// renders a JSON snapshot of everything.
+// Metrics aggregates the server's observability state. Request counts
+// stay on expvar types for continuity with PR 1, but all latency
+// tracking lives in an obs.Registry of fixed-bin log-space histograms —
+// the same machinery the paper uses for performance distributions,
+// pointed at the server itself. The set is owned by the server instance
+// rather than published to the global expvar registry, so multiple
+// servers (tests, loadgen self-hosting) never collide on variable
+// names; /metrics renders a JSON snapshot of everything and
+// /v1/metrics the raw registry.
 type Metrics struct {
 	start    time.Time
 	requests *expvar.Map // by "METHOD /path"
@@ -30,15 +29,7 @@ type Metrics struct {
 	// arrival (whether they eventually got a slot or were shed).
 	saturated expvar.Int
 
-	mu  sync.Mutex
-	lat map[string]*latencyReservoir
-}
-
-type latencyReservoir struct {
-	count   int64
-	sumMS   float64
-	samples []float64 // ring buffer of recent latencies in ms
-	next    int
+	reg *obs.Registry
 }
 
 // NewMetrics returns an empty metrics set.
@@ -47,34 +38,35 @@ func NewMetrics() *Metrics {
 		start:    clock(),
 		requests: new(expvar.Map).Init(),
 		statuses: new(expvar.Map).Init(),
-		lat:      make(map[string]*latencyReservoir),
+		reg:      obs.NewRegistry(),
 	}
 	return m
 }
 
-// Observe records one completed request.
+// Registry exposes the underlying obs metrics registry (served raw by
+// GET /v1/metrics, publishable via expvar by the binary).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// Observe records one completed request: the per-route expvar count,
+// the status count, the per-route obs latency histogram, and the
+// 4xx/5xx class counters.
 func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
 	m.requests.Add(endpoint, 1)
 	m.statuses.Add(http.StatusText(status), 1)
-	ms := float64(d) / float64(time.Millisecond)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	r := m.lat[endpoint]
-	if r == nil {
-		r = &latencyReservoir{}
-		m.lat[endpoint] = r
-	}
-	r.count++
-	r.sumMS += ms
-	if len(r.samples) < latencyCap {
-		r.samples = append(r.samples, ms)
-	} else {
-		r.samples[r.next] = ms
-		r.next = (r.next + 1) % latencyCap
+	m.reg.Histogram("http.latency." + endpoint).Observe(d)
+	switch {
+	case status >= 500:
+		m.reg.Counter("http.status.5xx").Inc()
+	case status >= 400:
+		m.reg.Counter("http.status.4xx").Inc()
+	default:
+		m.reg.Counter("http.status.2xx").Inc()
 	}
 }
 
 // LatencySummary reports count, mean, and percentiles in milliseconds.
+// Count, Mean, and Max are exact; the percentiles are interpolated from
+// the obs histogram's log-space bins (a few percent relative error).
 type LatencySummary struct {
 	Count  int64   `json:"count"`
 	MeanMS float64 `json:"mean_ms"`
@@ -84,24 +76,21 @@ type LatencySummary struct {
 	MaxMS  float64 `json:"max_ms"`
 }
 
-func summarizeMS(count int64, sum float64, samples []float64) LatencySummary {
-	s := LatencySummary{Count: count}
-	if count == 0 || len(samples) == 0 {
-		return s
+// summaryFromHist converts an obs histogram snapshot into the /metrics
+// latency summary shape (kept stable since PR 1).
+func summaryFromHist(h obs.HistSnapshot) LatencySummary {
+	return LatencySummary{
+		Count:  h.Count,
+		MeanMS: h.MeanMS,
+		P50MS:  h.P50MS,
+		P90MS:  h.P90MS,
+		P99MS:  h.P99MS,
+		MaxMS:  h.MaxMS,
 	}
-	s.MeanMS = sum / float64(count)
-	sorted := append([]float64(nil), samples...)
-	sort.Float64s(sorted)
-	pick := func(q float64) float64 {
-		i := int(q * float64(len(sorted)-1))
-		return sorted[i]
-	}
-	s.P50MS = pick(0.50)
-	s.P90MS = pick(0.90)
-	s.P99MS = pick(0.99)
-	s.MaxMS = sorted[len(sorted)-1]
-	return s
 }
+
+// latencyPrefix is the registry-name prefix of per-route histograms.
+const latencyPrefix = "http.latency."
 
 // snapshot renders the metrics as one JSON-encodable value.
 func (m *Metrics) snapshot(pred *core.Predictor, inFlight int64) map[string]any {
@@ -115,13 +104,11 @@ func (m *Metrics) snapshot(pred *core.Predictor, inFlight int64) map[string]any 
 		return out
 	}
 	lat := map[string]LatencySummary{}
-	func() {
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		for ep, r := range m.lat {
-			lat[ep] = summarizeMS(r.count, r.sumMS, r.samples)
+	for name, h := range m.reg.Snapshot().Histograms {
+		if len(name) > len(latencyPrefix) && name[:len(latencyPrefix)] == latencyPrefix {
+			lat[name[len(latencyPrefix):]] = summaryFromHist(h)
 		}
-	}()
+	}
 	cs := pred.CacheStats()
 	deg := pred.Degraded()
 	return map[string]any{
@@ -150,4 +137,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(s.metrics.snapshot(s.pred, s.metrics.inFlight.Value()))
+}
+
+// handleObsMetrics serves the raw obs registry: every counter, gauge,
+// and latency histogram snapshot (per-route p50/p90/p95/p99), plus
+// predictor cache counters mirrored in so one endpoint answers "how is
+// the service behaving".
+func (s *Server) handleObsMetrics(w http.ResponseWriter, _ *http.Request) {
+	cs := s.pred.CacheStats()
+	s.metrics.reg.Counter("predictor.cache.hits").Add(int64(cs.Hits) - s.metrics.reg.Counter("predictor.cache.hits").Value())
+	s.metrics.reg.Counter("predictor.cache.misses").Add(int64(cs.Misses) - s.metrics.reg.Counter("predictor.cache.misses").Value())
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.metrics.reg.Snapshot())
+}
+
+// handleTraces serves the tracer's ring buffer of completed traces,
+// oldest first, rendered as indented text trees.
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	total, slow := s.tracer.Completed()
+	resp := TracesResponse{Completed: total, Slow: slow}
+	for _, root := range s.tracer.Traces() {
+		resp.Traces = append(resp.Traces, root.Render())
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -2,15 +2,19 @@ package serve
 
 import (
 	"context"
+	"expvar"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/measure"
+	"repro/internal/obs"
 )
 
 // Config tunes the server. The zero value selects sensible defaults.
@@ -25,6 +29,17 @@ type Config struct {
 	RequestTimeout time.Duration
 	// DrainTimeout bounds graceful shutdown (default 10s).
 	DrainTimeout time.Duration
+	// TraceBufferSize bounds the in-memory ring of completed request
+	// traces served by GET /v1/traces (default 256).
+	TraceBufferSize int
+	// SlowTraceThreshold enables the slow-trace log: requests at or
+	// above it are rendered to the process log as span trees. Zero
+	// disables the log.
+	SlowTraceThreshold time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (varserve's
+	// -pprof flag). Off by default: profiling endpoints expose heap and
+	// stack contents and belong behind an explicit opt-in.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -49,6 +64,7 @@ type Server struct {
 	cfg     Config
 	pred    *core.Predictor
 	metrics *Metrics
+	tracer  *obs.Tracer
 	sem     chan struct{}
 	ready   atomic.Bool
 	mux     *http.ServeMux
@@ -62,6 +78,13 @@ func New(db *measure.Database, cfg Config) *Server {
 		pred:    core.NewPredictor(db),
 		metrics: NewMetrics(),
 	}
+	s.tracer = obs.NewTracer(obs.Config{
+		// Route through the package clock variable (not its current
+		// value) so SetClock keeps traces deterministic in tests.
+		Clock:         func() time.Time { return clock() },
+		BufferSize:    s.cfg.TraceBufferSize,
+		SlowThreshold: s.cfg.SlowTraceThreshold,
+	})
 	s.sem = make(chan struct{}, s.cfg.Workers)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/predict/uc1", s.instrument("POST /v1/predict/uc1", s.handleUC1))
@@ -72,6 +95,19 @@ func New(db *measure.Database, cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/metrics", s.instrument("GET /v1/metrics", s.handleObsMetrics))
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		// The process-global expvar set (the binary publishes the obs
+		// registry there as "obs"); same sensitivity class as pprof —
+		// it includes the command line — so it shares the gate.
+		s.mux.Handle("GET /debug/vars", expvar.Handler())
+	}
 	s.ready.Store(true)
 	return s
 }
@@ -84,6 +120,9 @@ func (s *Server) Predictor() *core.Predictor { return s.pred }
 
 // Metrics exposes the server's metrics set.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Tracer exposes the request tracer (trace buffer, slow-trace stats).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Listen binds the configured address. Addr reports the bound address
 // afterwards (useful with ":0").
@@ -132,13 +171,19 @@ func (s *Server) Serve(ctx context.Context) error {
 }
 
 // instrument wraps a handler with in-flight, latency, and status
-// accounting.
+// accounting, and roots a trace for the request: the handler (and the
+// predictor underneath it) hang child spans off the request context,
+// so every /v1/* request yields a handler -> predictor -> model span
+// tree in the trace buffer.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := clock()
 		s.metrics.inFlight.Add(1)
+		ctx, span := s.tracer.Start(r.Context(), endpoint)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h(sw, r)
+		h(sw, r.WithContext(ctx))
+		span.SetAttr("status", strconv.Itoa(sw.status))
+		span.End()
 		s.metrics.inFlight.Add(-1)
 		s.metrics.Observe(endpoint, sw.status, clock.Since(start))
 	}

@@ -165,6 +165,15 @@ type PredictResponse struct {
 }
 
 // ErrorResponse is the JSON body of every non-2xx answer.
+// TracesResponse is the GET /v1/traces payload: lifetime completion
+// counters plus the buffered traces rendered as indented span trees,
+// oldest first.
+type TracesResponse struct {
+	Completed uint64   `json:"completed"`
+	Slow      uint64   `json:"slow"`
+	Traces    []string `json:"traces,omitempty"`
+}
+
 type ErrorResponse struct {
 	Error string `json:"error"`
 	Code  int    `json:"code"`
