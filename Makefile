@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet varlint benchcheck benchcheck-update fuzz cover clean
+.PHONY: all build test race lint vet varlint docscheck persistence benchcheck benchcheck-update fuzz cover clean
 
 all: build test
 
@@ -14,15 +14,33 @@ race:
 	$(GO) test -race ./...
 
 # lint mirrors the CI lint shard: vet plus the repository's own
-# analyzer suite. The findings cache makes warm re-runs near-instant;
-# `make clean` drops it.
-lint: vet varlint
+# analyzer suite and the package-docs floor. The findings cache makes
+# warm re-runs near-instant; `make clean` drops it.
+lint: vet varlint docscheck
 
 vet:
 	$(GO) vet ./...
 
 varlint:
 	$(GO) run ./cmd/varlint -cache .varlint-cache ./...
+
+# docscheck enforces the documentation floor: every internal package
+# must carry a `// Package <name>` comment (conventionally in doc.go).
+docscheck:
+	@fail=0; \
+	for dir in $$(find internal -type d ! -path '*testdata*'); do \
+	  ls $$dir/*.go >/dev/null 2>&1 || continue; \
+	  grep -q '^// Package ' $$dir/*.go || \
+	    { echo "docscheck: $$dir has no package comment"; fail=1; }; \
+	done; \
+	if [ $$fail -ne 0 ]; then exit 1; fi; \
+	echo "docscheck: every internal package has a package comment"
+
+# persistence mirrors the CI model-store shard: save -> restart -> load
+# -> predict round trips, format damage handling, and registry
+# semantics, bypassing the test cache.
+persistence:
+	$(GO) test -count=1 -run 'Persistence|Registry|Store|Loaded|Decode|Encode|Fingerprint|Key' ./internal/modelstore/ ./internal/core/
 
 # benchcheck guards the tier-1 hot paths (batch prediction, KS/W1
 # kernels) against BENCH_baseline.json; >20% ns/op regressions fail.

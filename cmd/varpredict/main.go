@@ -7,12 +7,15 @@
 //	varpredict -bench specomp/376                       # use case 1 on Intel
 //	varpredict -bench parsec/canneal -usecase 2         # AMD → Intel
 //	varpredict -bench npb/bt -rep histogram -model rf   # other designs
+//	varpredict -bench npb/bt -model rf -modeldir models/  # persist / reuse the fit
 //
 // A measurement database can be reused with -db (see varcollect);
 // otherwise a reduced campaign is collected on the fly. With -trace the
 // prediction runs through the cached predictor under an obs trace and
 // the span tree (dataset build, model fit, decode) is printed after the
-// overlay — the "where did the time go" view.
+// overlay — the "where did the time go" view. With -modeldir the fitted
+// model is saved to (or loaded back from) a persistent model store, so
+// a second run with the same database and settings skips training.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/measure"
+	"repro/internal/modelstore"
 	"repro/internal/obs"
 	"repro/internal/perfsim"
 	"repro/internal/report"
@@ -47,6 +51,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "seed")
 		procs   = flag.Int("procs", 0, "GOMAXPROCS for parallel training/prediction (0 = all cores)")
 		trace   = flag.Bool("trace", false, "print the obs span tree of the prediction (timings per phase)")
+		mdlDir  = flag.String("modeldir", "", "persistent model store directory: save the fitted model there, or load it back on a later run (empty = off)")
 	)
 	flag.Parse()
 	if *procs > 0 {
@@ -79,13 +84,30 @@ func main() {
 
 	// With -trace the request runs through the cached predictor (the
 	// serving path), whose spans land on a local tracer; the results are
-	// bit-identical to the batch path for the same seed.
+	// bit-identical to the batch path for the same seed. -modeldir also
+	// routes through the predictor, with a persistent model store
+	// attached: the first run fits and saves the model, later runs load
+	// it from disk instead of retraining.
 	ctx := context.Background()
 	var tracer *obs.Tracer
 	var rootSpan *obs.Span
 	if *trace {
 		tracer = obs.NewTracer(obs.Config{BufferSize: 1})
 		ctx, rootSpan = tracer.Start(ctx, fmt.Sprintf("varpredict uc%d %s", *usecase, *bench))
+	}
+	usePredictor := *trace || *mdlDir != ""
+	var registry *modelstore.Registry
+	newPredictor := func() *core.Predictor {
+		p := core.NewPredictor(db)
+		if *mdlDir != "" {
+			store, err := modelstore.Open(*mdlDir)
+			if err != nil {
+				log.Fatal(err)
+			}
+			registry = modelstore.NewRegistry(store, 16)
+			p.SetModelStore(registry)
+		}
+		return p
 	}
 
 	var predicted, actual []float64
@@ -94,9 +116,9 @@ func main() {
 	case 1:
 		title = fmt.Sprintf("%s on intel, predicted from %d runs (%s + %s)", *bench, *samples, rep, model)
 		cfg := core.UC1Config{Rep: rep, Model: model, NumSamples: *samples, Seed: *seed}
-		if *trace {
+		if usePredictor {
 			var p *core.Prediction
-			p, err = core.NewPredictor(db).PredictUC1(ctx, "intel", *bench, cfg)
+			p, err = newPredictor().PredictUC1(ctx, "intel", *bench, cfg)
 			if err == nil {
 				predicted, actual = p.Predicted, p.Actual
 			}
@@ -110,9 +132,9 @@ func main() {
 	case 2:
 		title = fmt.Sprintf("%s: %s → %s (%s + %s)", *bench, *src, *dst, rep, model)
 		cfg := core.UC2Config{Rep: rep, Model: model, Seed: *seed}
-		if *trace {
+		if usePredictor {
 			var p *core.Prediction
-			p, err = core.NewPredictor(db).PredictUC2(ctx, *src, *dst, *bench, cfg)
+			p, err = newPredictor().PredictUC2(ctx, *src, *dst, *bench, cfg)
 			if err == nil {
 				predicted, actual = p.Predicted, p.Actual
 			}
@@ -135,6 +157,18 @@ func main() {
 	}
 	if rootSpan != nil {
 		rootSpan.End()
+	}
+	if registry != nil {
+		ss := registry.Stats()
+		switch {
+		case ss.DiskHits > 0:
+			fmt.Printf("model store %s: loaded the trained model from disk (no refit)\n", registry.Store().Dir())
+		case ss.Misses > 0:
+			fmt.Printf("model store %s: fitted and saved the trained model\n", registry.Store().Dir())
+		default:
+			// Ridge and the kNN fallback are never persisted.
+			fmt.Printf("model store %s: model kind is not persisted\n", registry.Store().Dir())
+		}
 	}
 
 	fmt.Println(viz.OverlayPlot(actual, predicted, 72, 12, title))

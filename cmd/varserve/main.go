@@ -8,6 +8,8 @@
 //	varserve -db campaign.gob.gz                      # serve on :8080
 //	varserve -addr :9090 -workers 16 -timeout 10s     # tuned
 //	varserve -warm                                    # pre-train default models
+//	varserve -modeldir models/ -warm                  # warm start from the model store
+//	varserve -modeldir models/ -refresh 10m           # with breaker-aware refresh
 //	varserve -loadgen -requests 600 -model xgboost    # self-hosted benchmark
 //	varserve -loadgen -url http://host:8080           # benchmark a remote server
 //
@@ -35,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/measure"
+	"repro/internal/modelstore"
 	"repro/internal/perfsim"
 	"repro/internal/randx"
 	"repro/internal/serve"
@@ -52,6 +55,11 @@ func main() {
 		procs   = flag.Int("procs", 0, "GOMAXPROCS for parallel training/prediction (0 = all cores)")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request deadline")
 		warm    = flag.Bool("warm", false, "pre-train the default full models before serving")
+
+		modelDir   = flag.String("modeldir", "", "persistent model store directory: fitted models are saved there and loaded on restart (empty = off)")
+		modelCache = flag.Int("modelcache", 256, "max models resident in memory with -modeldir (LRU beyond that)")
+		refresh    = flag.Duration("refresh", 0, "periodically drop caches so models refit from fresh data, keeping stale models as breaker-guarded fallbacks (0 = off)")
+
 		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes heap/stack contents; opt-in)")
 		slow    = flag.Duration("slowtrace", time.Second, "log requests slower than this as span trees (0 disables)")
 		traces  = flag.Int("tracebuf", 256, "completed request traces kept for GET /v1/traces")
@@ -83,6 +91,19 @@ func main() {
 	if *loadgen {
 		listenAddr = "127.0.0.1:0" // self-hosted benchmark target
 	}
+	var registry *modelstore.Registry
+	if *modelDir != "" {
+		store, err := modelstore.Open(*modelDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		registry = modelstore.NewRegistry(store, *modelCache)
+		keys, err := store.Keys()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("model store %s: %d models on disk, %d resident max", store.Dir(), len(keys), *modelCache)
+	}
 	srv := serve.New(db, serve.Config{
 		Addr:               listenAddr,
 		Workers:            *workers,
@@ -90,10 +111,36 @@ func main() {
 		EnablePprof:        *pprofOn,
 		SlowTraceThreshold: *slow,
 		TraceBufferSize:    *traces,
+		ModelRegistry:      registry,
 	})
 	// Mirror the server's obs registry into the process-global expvar
 	// set (one server per process here, so the name cannot collide).
 	expvar.Publish("obs", srv.Metrics().Registry().ExpvarVar())
+	if registry != nil {
+		expvar.Publish("modelstore", expvar.Func(func() any { return registry.Stats() }))
+	}
+	if *refresh > 0 {
+		// Breaker-aware background refresh: Predictor.Refresh drops the
+		// fitted models but keeps them as stale fallbacks, so the next
+		// request per key refits under its breaker — while a refit fails
+		// or its breaker is open, the stale model keeps serving. With
+		// -modeldir the refit resolves through the content-addressed
+		// store: unchanged data loads the same bits back instead of
+		// retraining, changed data gets a new address and a real refit.
+		ticker := time.NewTicker(*refresh)
+		go func() {
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					srv.Predictor().Refresh()
+					log.Printf("refresh: caches dropped, models will refit (or reload) on demand")
+				}
+			}
+		}()
+	}
 	if *warm {
 		warmStart := randx.SystemClock()
 		if err := srv.Predictor().Warm(ctx,

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ml/knn"
+	"repro/internal/modelstore"
+)
+
+// SetModelStore attaches a persistent model registry: every storable
+// primary-model fit is persisted, and later misses (including a fresh
+// process pointed at the same store directory) load the trained model
+// from disk instead of refitting. Call before serving. Fallback models
+// and the Ridge baseline always fit in-process.
+func (p *Predictor) SetModelStore(r *modelstore.Registry) { p.registry = r }
+
+// ModelStore returns the attached registry (nil when persistence is
+// off) — the serving layer's handle for store gauges.
+func (p *Predictor) ModelStore() *modelstore.Registry { return p.registry }
+
+// storable reports whether the family has a binary codec in the model
+// store.
+func storable(m Model) bool {
+	switch m {
+	case KNN, RandomForest, XGBoost:
+		return true
+	default:
+		return false
+	}
+}
+
+// storeSpec renders the content-address spec of one model key. The
+// dataset fingerprint already captures everything upstream of training
+// (samples, representation, repair, quarantine outcome), so the spec
+// only adds what the fingerprint cannot see: which rows were held out
+// and the resolved model hyperparameters.
+func storeSpec(k modelKey, m Model, seed uint64, opts ModelOptions, fp uint64) modelstore.KeySpec {
+	return modelstore.KeySpec{
+		UseCase:   k.data.useCase,
+		System:    k.data.system,
+		Target:    k.data.target,
+		Holdout:   k.holdout,
+		Model:     modelSpecString(m, seed, opts),
+		DatasetFP: fp,
+	}
+}
+
+// modelSpecString renders the resolved hyperparameters exactly as
+// newModel would apply them, so two configurations that train the same
+// model share a content address. kNN omits the seed — its fit draws no
+// randomness — which lets every seed share one stored model.
+func modelSpecString(m Model, seed uint64, opts ModelOptions) string {
+	switch m {
+	case KNN:
+		k := opts.KNNK
+		if k <= 0 {
+			k = 15
+		}
+		metric := knn.Cosine
+		if opts.KNNMetricSet {
+			metric = opts.KNNMetric
+		}
+		return fmt.Sprintf("knn{k=%d,metric=%s}", k, metric)
+	case RandomForest:
+		trees := opts.ForestTrees
+		if trees <= 0 {
+			trees = 100
+		}
+		return fmt.Sprintf("rf{trees=%d,seed=%d}", trees, seed)
+	case XGBoost:
+		rounds := opts.XGBRounds
+		if rounds <= 0 {
+			rounds = 60
+		}
+		depth := opts.XGBDepth
+		if depth <= 0 {
+			depth = 3
+		}
+		return fmt.Sprintf("xgb{rounds=%d,depth=%d,eta=0.12,sub=0.9,col=0.8,seed=%d}", rounds, depth, seed)
+	default:
+		return m.String()
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/measure"
 	"repro/internal/ml"
+	"repro/internal/modelstore"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/perfsim"
@@ -69,6 +70,10 @@ type Predictor struct {
 
 	breakerCfg BreakerConfig
 	now        func() time.Time
+
+	// registry, when set, persists fitted primary models and loads them
+	// back on later misses (and across process restarts). Nil = off.
+	registry *modelstore.Registry
 
 	hookMu  sync.RWMutex
 	fitHook FitHook
@@ -401,9 +406,15 @@ func resolveHoldout(data *uc1Data, holdout string) (test int, train []int, err e
 	return test, train, nil
 }
 
-// fitResolved runs the fit hook and trains one regressor of the key's
-// model family (or the kNN fallback family) on the training rows,
-// under a "model.fit" span naming the family.
+// fitResolved obtains one regressor of the key's model family (or the
+// kNN fallback family) for the training rows, under a "model.fit" span
+// naming the family. Without a model store it always trains. With one,
+// storable primary models resolve through the registry — resident copy,
+// then disk, then fit-and-persist — and the span's "store" attribute
+// records which tier answered; only an actual fit runs the fit hook, so
+// a warm store serves without touching the fit path at all. Fallback
+// models never go through the store: they are cheap memorization whose
+// job is to work when everything else is broken.
 func (p *Predictor) fitResolved(ctx context.Context, data *uc1Data, k modelKey, test int, train []int, fallback bool) (*fittedModel, error) {
 	model, opts, seed := k.data.params()
 	if fallback {
@@ -416,23 +427,38 @@ func (p *Predictor) fitResolved(ctx context.Context, data *uc1Data, k modelKey, 
 	if fallback {
 		span.SetAttr("fallback", true)
 	}
-	if h := p.hook(); h != nil {
-		if err := h(FitInfo{
-			UseCase:  k.data.useCase,
-			System:   k.data.system,
-			Target:   k.data.target,
-			Holdout:  k.holdout,
-			Model:    model,
-			Fallback: fallback,
-		}); err != nil {
+	fit := func() (ml.Regressor, error) {
+		if h := p.hook(); h != nil {
+			if err := h(FitInfo{
+				UseCase:  k.data.useCase,
+				System:   k.data.system,
+				Target:   k.data.target,
+				Holdout:  k.holdout,
+				Model:    model,
+				Fallback: fallback,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		reg, err := newModel(model, seed, opts)
+		if err != nil {
 			return nil, err
 		}
+		if err := reg.Fit(data.dataset.Subset(train)); err != nil {
+			return nil, err
+		}
+		return reg, nil
 	}
-	reg, err := newModel(model, seed, opts)
+	var reg ml.Regressor
+	var err error
+	if p.registry != nil && !fallback && storable(model) {
+		var src modelstore.Source
+		reg, src, err = p.registry.GetOrFit(storeSpec(k, model, seed, opts, data.fingerprint()).Key(), data.fingerprint(), fit)
+		span.SetAttr("store", src.String())
+	} else {
+		reg, err = fit()
+	}
 	if err != nil {
-		return nil, err
-	}
-	if err := reg.Fit(data.dataset.Subset(train)); err != nil {
 		return nil, err
 	}
 	return &fittedModel{data: data, reg: reg, test: test}, nil

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/cv"
 	"repro/internal/distrep"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/ml"
 	"repro/internal/ml/forest"
+	"repro/internal/modelstore"
 	"repro/internal/randx"
 	"repro/internal/stats"
 )
@@ -60,6 +62,19 @@ type uc1Data struct {
 	// validation left them without enough clean data; requests for them
 	// error with ErrBenchmarkQuarantined instead of training on dirt.
 	unusable map[string]bool
+
+	// fpOnce/fp lazily cache the model store's dataset fingerprint; the
+	// dataset is immutable once assembled, so one hash serves every
+	// model keyed off it.
+	fpOnce sync.Once
+	fp     uint64
+}
+
+// fingerprint returns the content-address fingerprint of the assembled
+// dataset, computed on first use.
+func (d *uc1Data) fingerprint() uint64 {
+	d.fpOnce.Do(func() { d.fp = modelstore.FingerprintDataset(d.dataset) })
+	return d.fp
 }
 
 // buildUC1 assembles profiles (from the first NumSamples valid probe

@@ -28,4 +28,11 @@
 // two packages together bound how much injected dirt reaches a trained
 // model. The fault-rate sweep in cmd/experiments (-ext, ext6)
 // quantifies exactly that.
+//
+// Downstream, the serving layer treats fault-induced fit failures as a
+// degraded-mode trigger (breakers, stale fallbacks — see
+// internal/core's Predictor), and because injection is deterministic,
+// the whole failure path is replayable: the same seed produces the same
+// quarantine decisions, the same breaker trips, and — with the model
+// store attached — the same content addresses for the surviving models.
 package faults

@@ -4,8 +4,9 @@
 //
 // The suite machine-checks the invariants this repository's results
 // rest on — bit-reproducible randomness and clocks (nondeterminism),
-// NaN-free numerics (floatcheck), wrapped error chains (errflow), and
-// copy-free, branch-safe locking plus pooled goroutines (lockcheck).
+// NaN-free numerics (floatcheck), wrapped error chains (errflow),
+// copy-free, branch-safe locking plus pooled goroutines (lockcheck),
+// and atomic-only file replacement (pathpolicy).
 // See README "Static analysis" for the policy and cmd/varlint for the
 // CLI.
 package lint
@@ -27,6 +28,7 @@ import (
 	"repro/internal/lint/load"
 	"repro/internal/lint/lockcheck"
 	"repro/internal/lint/nondeterminism"
+	"repro/internal/lint/pathpolicy"
 )
 
 // Suite is the default analyzer set, in report order.
@@ -36,6 +38,7 @@ func Suite() []*analysis.Analyzer {
 		floatcheck.Analyzer,
 		errflow.Analyzer,
 		lockcheck.Analyzer,
+		pathpolicy.Analyzer,
 	}
 }
 

@@ -1,0 +1,17 @@
+// Package pathpolicy enforces the repository's file-mutation
+// discipline: destructive filesystem operations — os.Remove,
+// os.RemoveAll, os.Rename — are confined to internal/modelstore, whose
+// write-temp-then-rename helper is the one sanctioned way to replace a
+// file on disk.
+//
+// The rule exists because a bare os.Rename over a live artifact (a
+// model file, a campaign database) is only atomic when the temp file
+// sits on the same filesystem and fsync/cleanup are handled; scattering
+// ad-hoc rename/remove calls across packages is how half-written model
+// files end up being served after a crash. Code that needs to replace a
+// file should go through the model store's atomic helper or add its own
+// equally careful helper inside an exempted package.
+//
+// Findings are suppressed with `//lint:allow pathpolicy <reason>` on
+// the finding's line or the line above; the reason is mandatory.
+package pathpolicy

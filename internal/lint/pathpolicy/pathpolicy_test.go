@@ -1,0 +1,31 @@
+package pathpolicy_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/pathpolicy"
+)
+
+func TestFlagged(t *testing.T) {
+	linttest.Run(t, pathpolicy.Analyzer, "testdata/flag", "example.com/a")
+}
+
+// TestModelstoreExempt pins the path scoping: the same calls are legal
+// under a modelstore package path.
+func TestModelstoreExempt(t *testing.T) {
+	diags, _ := linttest.Findings(t, pathpolicy.Analyzer, "testdata/modelstore", "example.com/modelstore")
+	if len(diags) != 0 {
+		t.Fatalf("pathpolicy leaked into the exempt modelstore path: %v", diags)
+	}
+}
+
+// TestModelstoreNameMustBeSuffix ensures the exemption keys off the
+// final path element only: a package merely containing "modelstore" in
+// the middle of its path is still policed.
+func TestModelstoreNameMustBeSuffix(t *testing.T) {
+	diags, _ := linttest.Findings(t, pathpolicy.Analyzer, "testdata/modelstore", "example.com/modelstore/sub")
+	if len(diags) == 0 {
+		t.Fatal("expected findings under a non-modelstore path, got none")
+	}
+}

@@ -1,0 +1,46 @@
+// Destructive filesystem calls outside the modelstore path are
+// flagged; reads, writes, and aliased imports are resolved through the
+// type checker, not by spelling.
+package a
+
+import (
+	"os"
+	stdos "os"
+)
+
+func mutate(dir string) error {
+	if err := os.Remove(dir + "/model.pvm"); err != nil { // want "os.Remove outside internal/modelstore"
+		return err
+	}
+	if err := os.RemoveAll(dir); err != nil { // want "os.RemoveAll outside internal/modelstore"
+		return err
+	}
+	return os.Rename(dir+"/a", dir+"/b") // want "os.Rename outside internal/modelstore"
+}
+
+func aliased(dir string) error {
+	return stdos.Rename(dir+"/a", dir+"/b") // want "os.Rename outside internal/modelstore"
+}
+
+func suppressed(dir string) error {
+	//lint:allow pathpolicy temp dir owned exclusively by this test helper
+	return os.RemoveAll(dir)
+}
+
+// reads and plain writes are not the policy's business.
+func fine(dir string) error {
+	if _, err := os.ReadFile(dir + "/model.pvm"); err != nil {
+		return err
+	}
+	return os.WriteFile(dir+"/note.txt", []byte("x"), 0o644)
+}
+
+// a local type named os is not the os package.
+type osLike struct{}
+
+func (osLike) Remove(string) error { return nil }
+
+func notThePackage() error {
+	var o osLike
+	return o.Remove("x")
+}

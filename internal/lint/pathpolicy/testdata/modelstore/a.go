@@ -1,0 +1,15 @@
+// The same destructive calls are legal when the package path ends in
+// /modelstore — this is where the atomic write-rename helper lives.
+package modelstore
+
+import "os"
+
+func writeFileAtomic(tmp, path string) error {
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func deleteEntry(path string) error { return os.Remove(path) }

@@ -59,12 +59,12 @@ func FuzzValidateRuns(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0})
-	f.Add(mk(1.5, 10, 20, 30, 2.5, 11, 21, 31))                      // clean pair
-	f.Add(mk(math.NaN(), 1, 2, 3, 1.0, 4, 5, 6))                     // NaN duration
-	f.Add(mk(-1, 1, 2, 3))                                           // negative duration
-	f.Add(mk(1, math.Inf(1), 2, 3, 1, 1, 2, 3, 1, 1, 2, 3))         // Inf counter (repairable)
-	f.Add(mk(1, -5, 2, 3, 1, 1, 2, 3))                               // negative counter
-	f.Add([]byte{1, 31, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})       // ragged tail
+	f.Add(mk(1.5, 10, 20, 30, 2.5, 11, 21, 31))                // clean pair
+	f.Add(mk(math.NaN(), 1, 2, 3, 1.0, 4, 5, 6))               // NaN duration
+	f.Add(mk(-1, 1, 2, 3))                                     // negative duration
+	f.Add(mk(1, math.Inf(1), 2, 3, 1, 1, 2, 3, 1, 1, 2, 3))    // Inf counter (repairable)
+	f.Add(mk(1, -5, 2, 3, 1, 1, 2, 3))                         // negative counter
+	f.Add([]byte{1, 31, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}) // ragged tail
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		runs, nMetrics, expected, pol := decodeFuzzRuns(data)

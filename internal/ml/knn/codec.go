@@ -1,0 +1,56 @@
+package knn
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+)
+
+// AppendWire serializes the fitted kNN model: hyperparameters, the
+// fitted scaler (when standardizing), and the stored training set.
+// Prediction is a deterministic scan over the stored rows, so a decoded
+// model predicts bit-identically to the original.
+func (r *Regressor) AppendWire(e *ml.WireEnc) error {
+	if r.x == nil {
+		return fmt.Errorf("knn: encode before Fit")
+	}
+	e.Int(r.K)
+	e.U8(uint8(r.Metric))
+	e.U8(uint8(r.Weighting))
+	e.Bool(r.Standardize)
+	e.Bool(r.scaler != nil)
+	if r.scaler != nil {
+		r.scaler.AppendWire(e)
+	}
+	e.FloatRows(r.x)
+	e.FloatRows(r.y)
+	return nil
+}
+
+// DecodeWire reconstructs a fitted kNN model written by AppendWire.
+func DecodeWire(d *ml.WireDec) (*Regressor, error) {
+	r := &Regressor{}
+	r.K = d.Int()
+	r.Metric = Metric(d.U8())
+	r.Weighting = Weighting(d.U8())
+	r.Standardize = d.Bool()
+	if d.Bool() {
+		s, err := ml.DecodeScaler(d)
+		if err != nil {
+			return nil, fmt.Errorf("knn: decode: %w", err)
+		}
+		r.scaler = s
+	}
+	r.x = d.FloatRows()
+	r.y = d.FloatRows()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("knn: decode: %w", err)
+	}
+	if r.K < 1 || len(r.x) == 0 || len(r.x) != len(r.y) {
+		return nil, fmt.Errorf("%w: knn with k=%d, %d/%d stored rows", ml.ErrWire, r.K, len(r.x), len(r.y))
+	}
+	if r.Standardize && r.scaler == nil {
+		return nil, fmt.Errorf("%w: standardizing knn without a scaler", ml.ErrWire)
+	}
+	return r, nil
+}

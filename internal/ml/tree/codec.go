@@ -1,0 +1,90 @@
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+)
+
+// maxWireDepth bounds recursion when decoding node structures, so a
+// corrupt buffer that somehow passes the outer checksum cannot exhaust
+// the stack. Real trees are depth-bounded by MaxDepth (tens at most).
+const maxWireDepth = 10_000
+
+// AppendWire serializes the fitted tree: growth configuration,
+// bookkeeping, feature importances, and the node structure in preorder.
+// The feature-subsampling RNG is deliberately not serialized — a
+// decoded tree predicts bit-identically but cannot be refitted with
+// MaxFeatures in effect.
+func (t *Tree) AppendWire(e *ml.WireEnc) error {
+	if t.root == nil {
+		return fmt.Errorf("tree: encode before Fit")
+	}
+	e.Int(t.cfg.MaxDepth)
+	e.Int(t.cfg.MinSamplesLeaf)
+	e.Int(t.cfg.MinSamplesSplit)
+	e.Int(t.cfg.MaxFeatures)
+	e.Int(t.depth)
+	e.Int(t.leaves)
+	e.Floats(t.importance)
+	appendNode(e, t.root)
+	return nil
+}
+
+func appendNode(e *ml.WireEnc, n *node) {
+	if n.value != nil {
+		e.U8(1)
+		e.Floats(n.value)
+		return
+	}
+	e.U8(0)
+	e.Int(n.feature)
+	e.F64(n.threshold)
+	appendNode(e, n.left)
+	appendNode(e, n.right)
+}
+
+// DecodeWire reconstructs a fitted tree written by AppendWire.
+func DecodeWire(d *ml.WireDec) (*Tree, error) {
+	t := &Tree{}
+	t.cfg.MaxDepth = d.Int()
+	t.cfg.MinSamplesLeaf = d.Int()
+	t.cfg.MinSamplesSplit = d.Int()
+	t.cfg.MaxFeatures = d.Int()
+	t.depth = d.Int()
+	t.leaves = d.Int()
+	t.importance = d.Floats()
+	t.root = decodeNode(d, 0)
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("tree: decode: %w", err)
+	}
+	return t, nil
+}
+
+func decodeNode(d *ml.WireDec, depth int) *node {
+	if d.Err() != nil {
+		return nil
+	}
+	if depth > maxWireDepth {
+		d.Failf("tree deeper than %d nodes", maxWireDepth)
+		return nil
+	}
+	switch tag := d.U8(); tag {
+	case 1:
+		n := &node{feature: -1, value: d.Floats()}
+		if n.value == nil && d.Err() == nil {
+			d.Failf("leaf without a target vector")
+		}
+		return n
+	case 0:
+		n := &node{feature: d.Int(), threshold: d.F64()}
+		n.left = decodeNode(d, depth+1)
+		n.right = decodeNode(d, depth+1)
+		return n
+	default:
+		if d.Err() == nil {
+			d.Failf("bad node tag %d", tag)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,115 @@
+package xgb
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+)
+
+// maxWireDepth bounds recursion when decoding node structures (real
+// boosting trees are MaxDepth-bounded, single digits).
+const maxWireDepth = 10_000
+
+// AppendWire serializes the fitted booster: the (defaulted)
+// configuration, per-output base scores, and every ensemble's trees in
+// boosting order. Prediction accumulates LearningRate-scaled leaf
+// weights in that order, so a decoded booster predicts bit-identically
+// to the original.
+func (x *Regressor) AppendWire(e *ml.WireEnc) error {
+	if x.ensembles == nil {
+		return fmt.Errorf("xgb: encode before Fit")
+	}
+	e.Int(x.cfg.NumRounds)
+	e.F64(x.cfg.LearningRate)
+	e.Int(x.cfg.MaxDepth)
+	e.F64(x.cfg.Lambda)
+	e.F64(x.cfg.Gamma)
+	e.F64(x.cfg.MinChildWeight)
+	e.F64(x.cfg.Subsample)
+	e.F64(x.cfg.ColSample)
+	e.U64(x.cfg.Seed)
+	e.Floats(x.baseScore)
+	e.Int(len(x.ensembles))
+	for _, trees := range x.ensembles {
+		e.Int(len(trees))
+		for _, t := range trees {
+			appendBNode(e, t)
+		}
+	}
+	return nil
+}
+
+func appendBNode(e *ml.WireEnc, n *bnode) {
+	if n.leaf {
+		e.U8(1)
+		e.F64(n.weight)
+		return
+	}
+	e.U8(0)
+	e.Int(n.feature)
+	e.F64(n.threshold)
+	appendBNode(e, n.left)
+	appendBNode(e, n.right)
+}
+
+// DecodeWire reconstructs a fitted booster written by AppendWire.
+func DecodeWire(d *ml.WireDec) (*Regressor, error) {
+	x := &Regressor{}
+	x.cfg.NumRounds = d.Int()
+	x.cfg.LearningRate = d.F64()
+	x.cfg.MaxDepth = d.Int()
+	x.cfg.Lambda = d.F64()
+	x.cfg.Gamma = d.F64()
+	x.cfg.MinChildWeight = d.F64()
+	x.cfg.Subsample = d.F64()
+	x.cfg.ColSample = d.F64()
+	x.cfg.Seed = d.U64()
+	x.baseScore = d.Floats()
+	nOut := d.Len(8)
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("xgb: decode: %w", err)
+	}
+	if nOut == 0 || nOut != len(x.baseScore) {
+		return nil, fmt.Errorf("%w: booster with %d ensembles, %d base scores", ml.ErrWire, nOut, len(x.baseScore))
+	}
+	x.ensembles = make([][]*bnode, nOut)
+	for out := range x.ensembles {
+		n := d.Len(1)
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("xgb: decode ensemble %d: %w", out, err)
+		}
+		trees := make([]*bnode, n)
+		for t := range trees {
+			trees[t] = decodeBNode(d, 0)
+		}
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("xgb: decode ensemble %d: %w", out, err)
+		}
+		x.ensembles[out] = trees
+	}
+	return x, nil
+}
+
+func decodeBNode(d *ml.WireDec, depth int) *bnode {
+	if d.Err() != nil {
+		return nil
+	}
+	if depth > maxWireDepth {
+		d.Failf("boosting tree deeper than %d nodes", maxWireDepth)
+		return nil
+	}
+	switch tag := d.U8(); tag {
+	case 1:
+		return &bnode{leaf: true, weight: d.F64()}
+	case 0:
+		n := &bnode{feature: d.Int(), threshold: d.F64()}
+		n.left = decodeBNode(d, depth+1)
+		n.right = decodeBNode(d, depth+1)
+		return n
+	default:
+		if d.Err() == nil {
+			d.Failf("bad boosting node tag %d", tag)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,134 @@
+package modelstore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/ml/forest"
+	"repro/internal/ml/knn"
+	"repro/internal/ml/xgb"
+	"repro/internal/randx"
+)
+
+// benchDataset is sized like a real leave-one-out UC1 training set:
+// 59 training benchmarks, 22 probe features, 4 representation outputs.
+func benchDataset() *ml.Dataset {
+	rng := randx.New(7)
+	const n, nf, no = 59, 22, 4
+	d := &ml.Dataset{}
+	for j := 0; j < nf; j++ {
+		d.FeatureNames = append(d.FeatureNames, fmt.Sprintf("f%02d", j))
+	}
+	for i := 0; i < n; i++ {
+		x := make([]float64, nf)
+		for j := range x {
+			x[j] = rng.Uniform(-2, 2)
+		}
+		y := make([]float64, no)
+		for j := range y {
+			y[j] = x[j]*1.5 - x[j+2] + rng.Normal(0, 0.1)
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+// benchFit trains one full-ensemble model (production sizes from
+// internal/core: rf 100 trees, xgb 60 rounds × depth 3, kNN k=15).
+func benchFit(b *testing.B, kind Kind, d *ml.Dataset) ml.Regressor {
+	b.Helper()
+	var reg ml.Regressor
+	switch kind {
+	case KindForest:
+		reg = forest.New(forest.Config{NumTrees: 100, Seed: 1})
+	case KindXGB:
+		reg = xgb.New(xgb.Config{NumRounds: 60, MaxDepth: 3, Seed: 1})
+	case KindKNN:
+		reg = knn.New(15)
+	default:
+		b.Fatalf("benchFit: %v", kind)
+	}
+	if err := reg.Fit(d); err != nil {
+		b.Fatalf("fit %v: %v", kind, err)
+	}
+	return reg
+}
+
+// BenchmarkColdFit / BenchmarkDiskLoad quantify the warm-start claim:
+// loading a persisted model must be far cheaper than refitting it.
+// EXPERIMENTS.md records the measured ratios.
+func BenchmarkColdFit(b *testing.B) {
+	d := benchDataset()
+	for _, kind := range allKinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchFit(b, kind, d)
+			}
+		})
+	}
+}
+
+func BenchmarkDiskLoad(b *testing.B) {
+	d := benchDataset()
+	fp := FingerprintDataset(d)
+	for _, kind := range allKinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			store, err := Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			reg := benchFit(b, kind, d)
+			key := fmt.Sprintf("%064x", int(kind))
+			if err := store.Save(key, reg, fp); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.Load(key, fp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEncode / BenchmarkDecode isolate the serialization cost
+// from the filesystem.
+func BenchmarkEncode(b *testing.B) {
+	d := benchDataset()
+	fp := FingerprintDataset(d)
+	for _, kind := range allKinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			reg := benchFit(b, kind, d)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Encode(reg, fp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	d := benchDataset()
+	fp := FingerprintDataset(d)
+	for _, kind := range allKinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			reg := benchFit(b, kind, d)
+			data, err := Encode(reg, fp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Decode(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

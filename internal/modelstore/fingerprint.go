@@ -1,0 +1,76 @@
+package modelstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/ml"
+)
+
+// FingerprintDataset hashes the learning problem's exact bits — shape,
+// feature names, and the IEEE-754 bits of every X and Y value — with
+// FNV-1a. Two datasets share a fingerprint exactly when a model fitted
+// on them would be bit-identical, which is what lets the store address
+// models by content: any ingest change (new runs, different
+// quarantine/repair outcome, different representation) changes Y or X
+// and therefore the address.
+func FingerprintDataset(d *ml.Dataset) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		_, _ = h.Write(b[:])
+	}
+	put(uint64(len(d.X)))
+	put(uint64(d.NumFeatures()))
+	put(uint64(d.NumOutputs()))
+	for _, row := range d.X {
+		for _, v := range row {
+			put(math.Float64bits(v))
+		}
+	}
+	for _, row := range d.Y {
+		for _, v := range row {
+			put(math.Float64bits(v))
+		}
+	}
+	for _, name := range d.FeatureNames {
+		_, _ = h.Write([]byte(name))
+		_, _ = h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// KeySpec enumerates everything that determines a fitted model's bits.
+// Key renders it into the content address files are stored under.
+type KeySpec struct {
+	// UseCase is 1 or 2.
+	UseCase int
+	// System is the UC1 system or UC2 source; Target the UC2 target
+	// ("" for UC1).
+	System, Target string
+	// Holdout is the benchmark held out of training ("" for the full
+	// deployment model). It selects the training subset, so it is part
+	// of the address even though the dataset fingerprint is not.
+	Holdout string
+	// Model is the canonical rendering of the resolved model family and
+	// hyperparameters, including the training seed where it matters.
+	Model string
+	// DatasetFP is FingerprintDataset of the assembled problem.
+	DatasetFP uint64
+}
+
+// Key returns the content address: the hex SHA-256 of the spec's
+// canonical rendering, prefixed with the format version so a format
+// bump never reads (or half-trusts) old-layout files.
+func (s KeySpec) Key() string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf(
+		"v%d|uc%d|sys=%s|dst=%s|holdout=%s|model=%s|fp=%016x",
+		FormatVersion, s.UseCase, s.System, s.Target, s.Holdout, s.Model, s.DatasetFP,
+	)))
+	return hex.EncodeToString(sum[:])
+}

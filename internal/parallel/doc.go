@@ -1,0 +1,17 @@
+// Package parallel provides the shared bounded worker pool used by the
+// training and prediction paths: a deterministic work-distribution
+// primitive that fans a fixed index range out across at most GOMAXPROCS
+// goroutines, stops dispatching on the first error, and honors context
+// cancellation.
+//
+// The pool carries no randomness of its own. Callers that need
+// per-item random streams (the tree ensembles) must pre-split them from
+// the parent RNG *before* dispatch — see randx.RNG.SplitN — so that the
+// work executed for item i is byte-for-byte identical no matter how many
+// workers run or in which order items complete.
+//
+// ForEach is also the only sanctioned way to spawn goroutines in server
+// paths: the lockcheck analyzer flags raw `go` statements inside
+// internal/serve and internal/core, so request-path concurrency always
+// stays bounded and propagates its first error.
+package parallel

@@ -1,11 +1,3 @@
-// Package randx provides the deterministic random-number machinery used
-// across the repository: a seedable source plus samplers for the
-// distribution families needed by the Pearson system (normal, gamma, beta,
-// beta-prime, inverse-gamma, Student-t) and by the performance simulator
-// (lognormal, mixtures, categorical choice).
-//
-// All randomness in this project flows through *randx.RNG so that every
-// experiment is reproducible bit-for-bit from its seed.
 package randx
 
 import (

@@ -482,6 +482,20 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	if deg.BreakersOpen > 0 {
 		resp.Status = "degraded"
 	}
+	if reg := s.pred.ModelStore(); reg != nil {
+		ss := reg.Stats()
+		resp.ModelStore = &ModelStoreJSON{
+			Hits:        ss.Hits,
+			DiskHits:    ss.DiskHits,
+			Misses:      ss.Misses,
+			Evictions:   ss.Evictions,
+			Refreshes:   ss.Refreshes,
+			LoadErrors:  ss.LoadErrors,
+			SaveErrors:  ss.SaveErrors,
+			Resident:    ss.Resident,
+			MaxResident: ss.MaxResident,
+		}
+	}
 	for _, b := range s.pred.Breakers() {
 		resp.Breakers = append(resp.Breakers, BreakerJSON{
 			Key:          b.Key,

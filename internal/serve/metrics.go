@@ -111,7 +111,7 @@ func (m *Metrics) snapshot(pred *core.Predictor, inFlight int64) map[string]any 
 	}
 	cs := pred.CacheStats()
 	deg := pred.Degraded()
-	return map[string]any{
+	out := map[string]any{
 		"uptime_seconds": clock.Since(m.start).Seconds(),
 		"in_flight":      inFlight,
 		"goroutines":     runtime.NumGoroutine(),
@@ -129,6 +129,20 @@ func (m *Metrics) snapshot(pred *core.Predictor, inFlight int64) map[string]any 
 		},
 		"latency": lat,
 	}
+	if reg := pred.ModelStore(); reg != nil {
+		ss := reg.Stats()
+		out["model_store"] = map[string]any{
+			"hits":        ss.Hits,
+			"disk_hits":   ss.DiskHits,
+			"misses":      ss.Misses,
+			"evictions":   ss.Evictions,
+			"refreshes":   ss.Refreshes,
+			"load_errors": ss.LoadErrors,
+			"save_errors": ss.SaveErrors,
+			"resident":    ss.Resident,
+		}
+	}
+	return out
 }
 
 // handleMetrics serves the JSON snapshot.
@@ -147,6 +161,14 @@ func (s *Server) handleObsMetrics(w http.ResponseWriter, _ *http.Request) {
 	cs := s.pred.CacheStats()
 	s.metrics.reg.Counter("predictor.cache.hits").Add(int64(cs.Hits) - s.metrics.reg.Counter("predictor.cache.hits").Value())
 	s.metrics.reg.Counter("predictor.cache.misses").Add(int64(cs.Misses) - s.metrics.reg.Counter("predictor.cache.misses").Value())
+	if reg := s.pred.ModelStore(); reg != nil {
+		ss := reg.Stats()
+		s.metrics.reg.Gauge("modelstore.hits").Set(float64(ss.Hits))
+		s.metrics.reg.Gauge("modelstore.disk_hits").Set(float64(ss.DiskHits))
+		s.metrics.reg.Gauge("modelstore.misses").Set(float64(ss.Misses))
+		s.metrics.reg.Gauge("modelstore.evictions").Set(float64(ss.Evictions))
+		s.metrics.reg.Gauge("modelstore.resident").Set(float64(ss.Resident))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

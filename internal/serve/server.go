@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/measure"
+	"repro/internal/modelstore"
 	"repro/internal/obs"
 )
 
@@ -40,6 +41,11 @@ type Config struct {
 	// -pprof flag). Off by default: profiling endpoints expose heap and
 	// stack contents and belong behind an explicit opt-in.
 	EnablePprof bool
+	// ModelRegistry, when set, attaches a persistent model store to the
+	// predictor (varserve's -modeldir flag): fitted models are persisted
+	// and a restarted process loads them instead of refitting, so a warm
+	// store serves its first prediction with no fit on the hot path.
+	ModelRegistry *modelstore.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +83,9 @@ func New(db *measure.Database, cfg Config) *Server {
 		cfg:     cfg.withDefaults(),
 		pred:    core.NewPredictor(db),
 		metrics: NewMetrics(),
+	}
+	if s.cfg.ModelRegistry != nil {
+		s.pred.SetModelStore(s.cfg.ModelRegistry)
 	}
 	s.tracer = obs.NewTracer(obs.Config{
 		// Route through the package clock variable (not its current

@@ -1,0 +1,12 @@
+// Package stats implements the descriptive statistics the paper's
+// workflow relies on: moments (through kurtosis), quantiles, empirical
+// CDFs, histograms, kernel density estimates, and the two-sample
+// Kolmogorov–Smirnov and Wasserstein-1 distances used to score
+// predicted distributions against measured ground truth.
+//
+// It replaces the NumPy/SciPy statistical substrate of the original
+// Python implementation. Summation goes through numeric.Sum
+// (compensated) so results do not drift with evaluation order, and the
+// floatcheck analyzer polices the NaN discipline at the package
+// boundary.
+package stats

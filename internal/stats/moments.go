@@ -1,10 +1,3 @@
-// Package stats implements the descriptive statistics the paper's
-// workflow relies on: moments (through kurtosis), quantiles, empirical
-// CDFs, histograms, kernel density estimates, and the two-sample
-// Kolmogorov–Smirnov statistic used to score predicted distributions.
-//
-// It replaces the NumPy/SciPy statistical substrate of the original
-// Python implementation.
 package stats
 
 import (
