@@ -795,7 +795,14 @@ func (p *Predictor) PredictUC1ProfileBatch(ctx context.Context, system string, p
 	if n <= 0 {
 		n = 1000 // the paper's campaign size
 	}
-	vecs := ml.PredictBatch(ctx, m.reg, rows)
+	// Models with the allocation-free batch kernel score into a pooled
+	// matrix that is recycled once every row is decoded; others fall
+	// back to PredictBatch's own allocation.
+	var pooled [][]float64
+	if bi, ok := m.reg.(ml.BatchIntoPredictor); ok {
+		pooled = uc1BatchMatrices.Get(len(rows), bi.NumOutputs())
+	}
+	vecs := ml.PredictBatchInto(ctx, m.reg, rows, pooled)
 	out := make([]*Prediction, len(probes))
 	for i, vec := range vecs {
 		seed := cfg.Seed + uint64(i)*0x9E3779B97F4A7C15
@@ -806,8 +813,16 @@ func (p *Predictor) PredictUC1ProfileBatch(ctx context.Context, system string, p
 			Fallback:  m.fallback,
 		}
 	}
+	if pooled != nil {
+		uc1BatchMatrices.Put(pooled)
+	}
 	return out, nil
 }
+
+// uc1BatchMatrices recycles the batch-prediction output matrices of
+// PredictUC1ProfileBatch; Decode copies what it keeps, so a matrix can
+// be returned as soon as its rows are decoded.
+var uc1BatchMatrices ml.MatrixPool
 
 // Warm pre-trains the full (no-holdout) models for the given configs on
 // every system, so the first live request is already O(predict). It is

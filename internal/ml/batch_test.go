@@ -52,8 +52,17 @@ func TestPredictBatchSingleRowAndEmpty(t *testing.T) {
 	if len(got) != 1 || got[0][0] != 7 {
 		t.Fatalf("single-row batch = %v, want [[7 ...]]", got)
 	}
-	if got := PredictBatch(context.Background(), affine{}, nil); len(got) != 0 {
-		t.Fatalf("empty batch returned %d rows", len(got))
+	// Empty input short-circuits before span/pool dispatch and must
+	// still return a non-nil, zero-length slice so callers can range
+	// and json-encode it without nil checks.
+	for _, X := range [][][]float64{nil, {}} {
+		got := PredictBatch(context.Background(), affine{}, X)
+		if got == nil {
+			t.Fatalf("empty batch (X=%v) returned nil, want non-nil empty slice", X)
+		}
+		if len(got) != 0 {
+			t.Fatalf("empty batch returned %d rows", len(got))
+		}
 	}
 }
 

@@ -95,6 +95,42 @@ func BenchmarkPredictBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictBatchForest covers the flattened forest kernel on
+// the same UC1-shaped batch; benchcheck guards it alongside the kNN
+// path so a regression in the node-table traversal can't hide behind
+// the distance kernel.
+func BenchmarkPredictBatchForest(b *testing.B) {
+	d := uc1Shaped(5)
+	r := forest.New(forest.Config{NumTrees: 50, Seed: 1})
+	if err := r.Fit(d); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := ml.PredictBatch(ctx, r, d.X); len(out) != len(d.X) {
+			b.Fatal("short batch")
+		}
+	}
+}
+
+// BenchmarkPredictBatchXGB covers the flattened boosted-ensemble
+// kernel on the same batch shape.
+func BenchmarkPredictBatchXGB(b *testing.B) {
+	d := uc1Shaped(5)
+	r := xgb.New(xgb.Config{NumRounds: 50, MaxDepth: 3, Seed: 1})
+	if err := r.Fit(d); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := ml.PredictBatch(ctx, r, d.X); len(out) != len(d.X) {
+			b.Fatal("short batch")
+		}
+	}
+}
+
 // BenchmarkPredictBatchTraced is the same path under an active obs
 // trace — the pair quantifies the instrumentation overhead recorded in
 // EXPERIMENTS.md (acceptance bar: <= 5%).

@@ -127,12 +127,58 @@ func (f *Regressor) FeatureImportance() []float64 {
 
 // Predict averages the trees' predictions.
 func (f *Regressor) Predict(x []float64) []float64 {
+	out := make([]float64, f.nOut)
+	f.PredictInto(x, out)
+	return out
+}
+
+// PredictInto writes the ensemble average for x into out (len
+// NumOutputs) without allocating: every tree contributes its leaf via
+// the flattened kernel, accumulated in ensemble order, so the result is
+// bit-identical to Predict.
+func (f *Regressor) PredictInto(x, out []float64) {
+	if len(f.trees) == 0 {
+		panic("forest: Predict before Fit")
+	}
+	for j := range out {
+		out[j] = 0
+	}
+	for _, tr := range f.trees {
+		tr.AddLeafInto(x, out)
+	}
+	inv := 1 / float64(len(f.trees))
+	for j := range out {
+		out[j] *= inv
+	}
+}
+
+// NumOutputs implements ml.BatchIntoPredictor.
+func (f *Regressor) NumOutputs() int { return f.nOut }
+
+// PredictBatchInto implements ml.BatchIntoPredictor: rows fan out
+// across the shared worker pool (bounded by GOMAXPROCS) and each is
+// filled in place by the allocation-free kernel. Row results are
+// independent, so the output is bit-identical at any worker count.
+func (f *Regressor) PredictBatchInto(ctx context.Context, X, out [][]float64) {
+	if len(f.trees) == 0 {
+		panic("forest: Predict before Fit")
+	}
+	_ = parallel.ForEach(ctx, len(X), 0, func(_ context.Context, i int) error {
+		f.PredictInto(X[i], out[i])
+		return nil
+	})
+}
+
+// PredictReference averages the trees' pointer-walking reference
+// kernels — the implementation the flat-vs-pointer equivalence suite
+// compares against Predict bit for bit.
+func (f *Regressor) PredictReference(x []float64) []float64 {
 	if len(f.trees) == 0 {
 		panic("forest: Predict before Fit")
 	}
 	out := make([]float64, f.nOut)
 	for _, tr := range f.trees {
-		p := tr.Predict(x)
+		p := tr.PredictReference(x)
 		for j, v := range p {
 			out[j] += v
 		}

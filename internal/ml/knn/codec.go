@@ -52,5 +52,23 @@ func DecodeWire(d *ml.WireDec) (*Regressor, error) {
 	if r.Standardize && r.scaler == nil {
 		return nil, fmt.Errorf("%w: standardizing knn without a scaler", ml.ErrWire)
 	}
+	// The flattened kernel assumes a rectangular training set; reject
+	// ragged rows (possible in a corrupt buffer) before building it.
+	for i, row := range r.x {
+		if len(row) != len(r.x[0]) {
+			return nil, fmt.Errorf("%w: knn row %d has %d features, want %d", ml.ErrWire, i, len(row), len(r.x[0]))
+		}
+	}
+	for i, row := range r.y {
+		if len(row) != len(r.y[0]) {
+			return nil, fmt.Errorf("%w: knn target row %d has %d outputs, want %d", ml.ErrWire, i, len(row), len(r.y[0]))
+		}
+	}
+	if len(r.y[0]) == 0 {
+		return nil, fmt.Errorf("%w: knn with zero outputs", ml.ErrWire)
+	}
+	// Warm-loaded models serve through the same flattened kernel as
+	// freshly fitted ones.
+	r.finalize()
 	return r, nil
 }

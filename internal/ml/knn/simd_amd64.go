@@ -1,0 +1,33 @@
+//go:build amd64
+
+package knn
+
+// The scalar blocked kernel in cosineInto is limited by scalar FP
+// throughput (two FP ops per cycle), which caps the 59x272 dot-product
+// sweep of the paper's UC1 workload around 2x the latency budget. The
+// AVX-512 kernel below processes 64 candidate rows per call — one row
+// per vector lane over a column-major copy of the training matrix — so
+// each lane still accumulates its row's products in exactly the scalar
+// reference's feature order. Separate VMULPD/VADDPD (never FMA) and
+// IEEE-correctly-rounded VSQRTPD/VDIVPD keep every distance
+// bit-identical to r.distance; the equivalence suite verifies this on
+// every test run.
+
+// hasAVX512 reports CPU+OS AVX-512F support, probed once at startup.
+var hasAVX512 = x86HasAVX512F()
+
+// simdEnabled gates the assembly kernel at call time. It is a separate
+// variable so tests can force the scalar path and compare both kernels
+// on the same fitted model.
+var simdEnabled = hasAVX512
+
+// cosineBlock64 fills dist[0:64] with 1 - dot/sqrt(na*sq[l]) for the 64
+// candidate rows held column-major at col (column stride in elements),
+// forcing lanes with sq[l] == 0 to distance 1. The caller guarantees
+// na != 0, p >= 1, and 64 addressable lanes in col, sq, and dist.
+//
+//go:noescape
+func cosineBlock64(q *float64, p int, col *float64, stride int, na float64, sq *float64, dist *float64)
+
+// x86HasAVX512F probes CPUID and XCR0 for usable AVX-512F.
+func x86HasAVX512F() bool

@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package knn
+
+// Non-amd64 builds always use the scalar blocked kernel.
+
+const hasAVX512 = false
+
+var simdEnabled = false
+
+func cosineBlock64(q *float64, p int, col *float64, stride int, na float64, sq *float64, dist *float64) {
+	panic("knn: SIMD kernel unavailable on this architecture")
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package ml_test
+
+// raceDetectorEnabled gates allocation assertions: the race detector
+// defeats sync.Pool caching, so alloc counts are meaningless under it.
+const raceDetectorEnabled = true

@@ -53,15 +53,48 @@ func FitScaler(rows [][]float64) (*StandardScaler, error) {
 
 // Transform returns the scaled copy of one row.
 func (s *StandardScaler) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	s.TransformInto(x, out)
+	return out
+}
+
+// TransformInto scales one row into dst (len(x) == len(dst)), the
+// allocation-free form the batch kernels use with pooled buffers. The
+// scaled values are bit-identical to Transform.
+func (s *StandardScaler) TransformInto(x, dst []float64) {
 	if len(x) != len(s.Means) {
 		panic(fmt.Sprintf("ml: Transform length %d, scaler has %d features", len(x), len(s.Means)))
 	}
-	out := make([]float64, len(x))
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("ml: TransformInto dst length %d, want %d", len(dst), len(x)))
+	}
 	for j, v := range x {
 		//lint:allow floatcheck FitScaler pins zero-variance columns to scale 1, so every divisor is positive
-		out[j] = (v - s.Means[j]) / s.Scales[j]
+		dst[j] = (v - s.Means[j]) / s.Scales[j]
 	}
-	return out
+}
+
+// TransformSumSqInto scales one row into dst like TransformInto and
+// returns the sum of squares of the scaled values, accumulated in
+// element order. Fusing the two lets the serial sum-of-squares chain
+// overlap the divides instead of running as a separate latency-bound
+// pass; the scaled values and the sum are bit-identical to calling
+// TransformInto and accumulating dst[j]*dst[j] in a second loop.
+func (s *StandardScaler) TransformSumSqInto(x, dst []float64) float64 {
+	if len(x) != len(s.Means) {
+		panic(fmt.Sprintf("ml: Transform length %d, scaler has %d features", len(x), len(s.Means)))
+	}
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("ml: TransformInto dst length %d, want %d", len(dst), len(x)))
+	}
+	var sumsq float64
+	for j, v := range x {
+		//lint:allow floatcheck FitScaler pins zero-variance columns to scale 1, so every divisor is positive
+		t := (v - s.Means[j]) / s.Scales[j]
+		dst[j] = t
+		sumsq += t * t
+	}
+	return sumsq
 }
 
 // TransformAll scales every row.

@@ -58,6 +58,9 @@ func DecodeWire(d *ml.WireDec) (*Tree, error) {
 	if err := d.Err(); err != nil {
 		return nil, fmt.Errorf("tree: decode: %w", err)
 	}
+	// Warm-loaded trees serve through the same flattened kernel as
+	// freshly fitted ones.
+	t.finalize()
 	return t, nil
 }
 

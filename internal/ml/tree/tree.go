@@ -7,6 +7,7 @@ package tree
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/ml"
@@ -52,10 +53,77 @@ type node struct {
 	value     []float64 // leaf payload (nil for internal nodes)
 }
 
+// flatTree is the struct-of-arrays node table the serving kernel
+// traverses: one preorder-indexed entry per node, leaf payloads packed
+// into a single contiguous block. It is built once at fit/decode time;
+// traversal is iterative with no pointer chasing and no allocation.
+//
+// Encoding: feature[i] >= 0 marks an internal node whose children are
+// left[i]/right[i]; feature[i] == flatLeaf marks a leaf whose payload
+// is values[left[i] : left[i]+nOut].
+type flatTree struct {
+	feature   []int32
+	threshold []float64
+	left      []int32
+	right     []int32
+	values    []float64
+	nOut      int
+}
+
+// flatLeaf is the feature sentinel marking a leaf row in the table.
+const flatLeaf = int32(-1)
+
+// buildFlat lowers the pointer tree into its node table. Node indices
+// are preorder, so the hot left spine stays cache-adjacent.
+func buildFlat(root *node) *flatTree {
+	f := &flatTree{}
+	var walk func(n *node) int32
+	walk = func(n *node) int32 {
+		i := int32(len(f.feature))
+		f.feature = append(f.feature, 0)
+		f.threshold = append(f.threshold, 0)
+		f.left = append(f.left, 0)
+		f.right = append(f.right, 0)
+		if n.value != nil {
+			f.feature[i] = flatLeaf
+			f.left[i] = int32(len(f.values))
+			f.values = append(f.values, n.value...)
+			f.nOut = len(n.value)
+			return i
+		}
+		f.feature[i] = int32(n.feature)
+		f.threshold[i] = n.threshold
+		f.left[i] = walk(n.left)
+		f.right[i] = walk(n.right)
+		return i
+	}
+	walk(root)
+	return f
+}
+
+// leaf routes x to its leaf and returns a view of the payload (do not
+// mutate). The comparison `x <= threshold` is false for NaN, so a NaN
+// feature follows the right branch — the same explicit NaN-routing
+// contract PredictReference implements with math.IsNaN.
+func (f *flatTree) leaf(x []float64) []float64 {
+	ft, th, lt, rt := f.feature, f.threshold, f.left, f.right
+	i := int32(0)
+	for ft[i] >= 0 {
+		if x[ft[i]] <= th[i] {
+			i = lt[i]
+		} else {
+			i = rt[i]
+		}
+	}
+	off := lt[i]
+	return f.values[off : off+int32(f.nOut)]
+}
+
 // Tree is a fitted regression tree.
 type Tree struct {
 	cfg  Config
 	root *node
+	flat *flatTree // serving kernel, built by finalize
 	// depth and leaves are bookkeeping for tests and reports.
 	depth  int
 	leaves int
@@ -63,6 +131,11 @@ type Tree struct {
 	// attributed to each feature — the classic "gain" importance.
 	importance []float64
 }
+
+// finalize builds the flattened kernel from the pointer tree. Fit and
+// DecodeWire both call it, so fresh and warm-loaded trees share one
+// serving kernel.
+func (t *Tree) finalize() { t.flat = buildFlat(t.root) }
 
 // FeatureImportance returns the per-feature impurity-reduction shares of
 // the fitted tree, normalized to sum to 1 (all zeros when the tree is a
@@ -107,6 +180,7 @@ func (t *Tree) Fit(d *ml.Dataset) error {
 	t.leaves = 0
 	t.importance = make([]float64, d.NumFeatures())
 	t.root = t.grow(d, idx, 0)
+	t.finalize()
 	return nil
 }
 
@@ -126,6 +200,7 @@ func (t *Tree) FitIndices(d *ml.Dataset, idx []int) error {
 	t.leaves = 0
 	t.importance = make([]float64, d.NumFeatures())
 	t.root = t.grow(d, append([]int(nil), idx...), 0)
+	t.finalize()
 	return nil
 }
 
@@ -272,16 +347,65 @@ func (t *Tree) bestSplit(d *ml.Dataset, idx []int) (feature int, threshold, gain
 	return feature, threshold, parentSSE - best, true
 }
 
-// Predict implements ml.Regressor.
+// Predict implements ml.Regressor via the flattened kernel.
 func (t *Tree) Predict(x []float64) []float64 {
+	if t.flat == nil {
+		panic("tree: Predict before Fit")
+	}
+	leaf := t.flat.leaf(x)
+	out := make([]float64, len(leaf))
+	copy(out, leaf)
+	return out
+}
+
+// PredictInto writes the prediction for x into out (len NumOutputs)
+// without allocating.
+func (t *Tree) PredictInto(x, out []float64) {
+	if t.flat == nil {
+		panic("tree: Predict before Fit")
+	}
+	copy(out, t.flat.leaf(x))
+}
+
+// AddLeafInto adds the leaf payload for x into acc — the forest's
+// accumulation hot path, one table walk and nOut additions, zero
+// allocation.
+func (t *Tree) AddLeafInto(x, acc []float64) {
+	for j, v := range t.flat.leaf(x) {
+		acc[j] += v
+	}
+}
+
+// NumOutputs returns the fitted output arity.
+func (t *Tree) NumOutputs() int {
+	if t.flat == nil {
+		panic("tree: NumOutputs before Fit")
+	}
+	return t.flat.nOut
+}
+
+// PredictReference is the original pointer-chasing kernel, kept as the
+// independent reference implementation the equivalence suite compares
+// against the flattened kernel bit for bit.
+//
+// NaN routing contract: a NaN feature value always follows the right
+// (greater-than) branch. The flattened kernel realizes the same
+// contract through IEEE comparison semantics (`NaN <= t` is false);
+// here it is spelled out with math.IsNaN so the behavior is explicit
+// rather than an artifact of comparison order.
+func (t *Tree) PredictReference(x []float64) []float64 {
 	if t.root == nil {
 		panic("tree: Predict before Fit")
 	}
 	n := t.root
 	for n.value == nil {
-		if x[n.feature] <= n.threshold {
+		xv := x[n.feature]
+		switch {
+		case math.IsNaN(xv):
+			n = n.right
+		case xv <= n.threshold:
 			n = n.left
-		} else {
+		default:
 			n = n.right
 		}
 	}

@@ -232,3 +232,56 @@ func TestTreeFeatureImportanceAllZeroForLeaf(t *testing.T) {
 		t.Errorf("single-leaf importance = %v, want 0", imp)
 	}
 }
+
+func TestTreeNaNRoutesRight(t *testing.T) {
+	d := &ml.Dataset{
+		X: [][]float64{{0}, {1}, {10}, {11}},
+		Y: [][]float64{{1}, {1}, {5}, {5}},
+	}
+	tr := New(Config{})
+	if err := tr.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	// NaN fails `x <= threshold`, so it must take the right (high) branch
+	// in both the flattened kernel and the reference walker.
+	q := []float64{math.NaN()}
+	if got := tr.Predict(q); got[0] != 5 {
+		t.Errorf("flattened kernel routed NaN to %v, want right branch (5)", got[0])
+	}
+	if got := tr.PredictReference(q); got[0] != 5 {
+		t.Errorf("reference walker routed NaN to %v, want right branch (5)", got[0])
+	}
+}
+
+func TestTreeFlatMatchesReferenceWithNaNs(t *testing.T) {
+	rng := randx.New(42)
+	n, p := 120, 6
+	d := &ml.Dataset{X: make([][]float64, n), Y: make([][]float64, n)}
+	for i := range d.X {
+		d.X[i] = make([]float64, p)
+		for j := range d.X[i] {
+			d.X[i][j] = rng.StdNormal()
+		}
+		d.Y[i] = []float64{d.X[i][0]*2 - d.X[i][3]}
+	}
+	tr := New(Config{MaxDepth: 6})
+	if err := tr.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		q := make([]float64, p)
+		for j := range q {
+			q[j] = rng.StdNormal()
+		}
+		// Sprinkle NaNs to exercise the routing contract at interior splits.
+		if i%3 == 0 {
+			q[i%p] = math.NaN()
+		}
+		got, want := tr.Predict(q), tr.PredictReference(q)
+		for j := range want {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("probe %d out %d: flattened %v != reference %v", i, j, got[j], want[j])
+			}
+		}
+	}
+}

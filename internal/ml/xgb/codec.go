@@ -87,6 +87,9 @@ func DecodeWire(d *ml.WireDec) (*Regressor, error) {
 		}
 		x.ensembles[out] = trees
 	}
+	// Warm-loaded boosters serve through the same flattened kernel as
+	// freshly fitted ones.
+	x.finalize()
 	return x, nil
 }
 

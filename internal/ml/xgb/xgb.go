@@ -16,6 +16,7 @@ package xgb
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/ml"
@@ -87,11 +88,66 @@ type bnode struct {
 	weight    float64
 }
 
+// flatEnsemble is one output's flattened boosting ensemble: every
+// round's tree packed into a single struct-of-arrays node table,
+// traversed iteratively with no pointer chasing and no allocation.
+//
+// Encoding: feature[i] >= 0 marks an internal node with children
+// left[i]/right[i]; feature[i] == flatLeaf marks a leaf whose weight is
+// stored in threshold[i] (a leaf has no split threshold, so the slot is
+// free and the table stays four arrays wide). roots[r] indexes round
+// r's root node.
+type flatEnsemble struct {
+	roots     []int32
+	feature   []int32
+	threshold []float64
+	left      []int32
+	right     []int32
+}
+
+// flatLeaf is the feature sentinel marking a leaf row in the table.
+const flatLeaf = int32(-1)
+
+// appendFlat lowers one pointer tree into the table in preorder and
+// returns its root index.
+func (f *flatEnsemble) appendFlat(n *bnode) int32 {
+	i := int32(len(f.feature))
+	f.feature = append(f.feature, 0)
+	f.threshold = append(f.threshold, 0)
+	f.left = append(f.left, 0)
+	f.right = append(f.right, 0)
+	if n.leaf {
+		f.feature[i] = flatLeaf
+		f.threshold[i] = n.weight
+		return i
+	}
+	f.feature[i] = int32(n.feature)
+	f.threshold[i] = n.threshold
+	f.left[i] = f.appendFlat(n.left)
+	f.right[i] = f.appendFlat(n.right)
+	return i
+}
+
 // Regressor is a fitted gradient-boosting model.
 type Regressor struct {
 	cfg       Config
-	baseScore []float64  // per-output initial prediction
-	ensembles [][]*bnode // [output][round]
+	baseScore []float64      // per-output initial prediction
+	ensembles [][]*bnode     // [output][round]
+	flat      []flatEnsemble // serving kernel, built by finalize
+}
+
+// finalize builds the flattened serving kernel from the pointer
+// ensembles. Fit and DecodeWire both call it, so fresh and warm-loaded
+// boosters share one kernel.
+func (x *Regressor) finalize() {
+	x.flat = make([]flatEnsemble, len(x.ensembles))
+	for out, trees := range x.ensembles {
+		fe := &x.flat[out]
+		fe.roots = make([]int32, len(trees))
+		for r, t := range trees {
+			fe.roots[r] = fe.appendFlat(t)
+		}
+	}
 }
 
 // New returns an unfitted booster.
@@ -157,6 +213,7 @@ func (x *Regressor) Fit(d *ml.Dataset) error {
 	}
 	x.baseScore = baseScore
 	x.ensembles = ensembles
+	x.finalize()
 	return nil
 }
 
@@ -265,19 +322,86 @@ func (x *Regressor) buildTree(d *ml.Dataset, rows, cols []int, grad, hess []floa
 	}
 }
 
+// evalTree walks one pointer tree to its leaf weight, routing NaN
+// features explicitly right (the ensemble-wide NaN contract; Dataset
+// validation keeps NaN out of training, so the branch only matters for
+// serving-time inputs).
 func evalTree(n *bnode, x []float64) float64 {
 	for !n.leaf {
-		if x[n.feature] <= n.threshold {
+		xv := x[n.feature]
+		switch {
+		case math.IsNaN(xv):
+			n = n.right
+		case xv <= n.threshold:
 			n = n.left
-		} else {
+		default:
 			n = n.right
 		}
 	}
 	return n.weight
 }
 
-// Predict implements ml.Regressor.
+// Predict implements ml.Regressor via the flattened kernel.
 func (x *Regressor) Predict(in []float64) []float64 {
+	out := make([]float64, len(x.flat))
+	x.PredictInto(in, out)
+	return out
+}
+
+// PredictInto writes the prediction for in into out (len NumOutputs)
+// without allocating. Leaf weights accumulate in boosting order with
+// the same shrinkage multiply as the pointer kernel, so the result is
+// bit-identical to PredictReference.
+//
+// NaN routing contract: a NaN feature fails the `<=` comparison and
+// follows the right branch, identical to the explicit math.IsNaN branch
+// in PredictReference.
+func (x *Regressor) PredictInto(in, out []float64) {
+	if x.flat == nil {
+		panic("xgb: Predict before Fit")
+	}
+	eta := x.cfg.LearningRate
+	for j := range x.flat {
+		fe := &x.flat[j]
+		ft, th, lt, rt := fe.feature, fe.threshold, fe.left, fe.right
+		p := x.baseScore[j]
+		for _, root := range fe.roots {
+			i := root
+			for ft[i] >= 0 {
+				if in[ft[i]] <= th[i] {
+					i = lt[i]
+				} else {
+					i = rt[i]
+				}
+			}
+			p += eta * th[i]
+		}
+		out[j] = p
+	}
+}
+
+// NumOutputs implements ml.BatchIntoPredictor.
+func (x *Regressor) NumOutputs() int { return len(x.flat) }
+
+// PredictBatchInto implements ml.BatchIntoPredictor: rows fan out
+// across the shared worker pool (bounded by GOMAXPROCS) and each is
+// filled in place by the allocation-free kernel. Row results are
+// independent, so the output is bit-identical at any worker count.
+func (x *Regressor) PredictBatchInto(ctx context.Context, X, out [][]float64) {
+	if x.flat == nil {
+		panic("xgb: Predict before Fit")
+	}
+	_ = parallel.ForEach(ctx, len(X), 0, func(_ context.Context, i int) error {
+		x.PredictInto(X[i], out[i])
+		return nil
+	})
+}
+
+// PredictReference is the original pointer-chasing kernel, kept as the
+// independent reference implementation the equivalence suite compares
+// against the flattened kernel bit for bit. NaN features explicitly
+// route right at every split.
+func (x *Regressor) PredictReference(in []float64) []float64 {
 	if x.ensembles == nil {
 		panic("xgb: Predict before Fit")
 	}

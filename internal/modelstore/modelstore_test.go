@@ -306,3 +306,49 @@ func TestStoreLoadRejectsCorruptFile(t *testing.T) {
 		t.Fatalf("corrupt file: %v", err)
 	}
 }
+
+// referencePredictor is the pointer-walking fallback every storable
+// family keeps alongside its flattened serving kernel.
+type referencePredictor interface {
+	PredictReference(x []float64) []float64
+}
+
+// TestLoadedFlatMatchesPointerReference pins the warm-load contract for
+// the flattened kernels: a model decoded from the store serves with its
+// struct-of-arrays kernel, and that kernel must agree bit for bit with
+// the original pointer-based reference walker — per family, per seed.
+func TestLoadedFlatMatchesPointerReference(t *testing.T) {
+	for _, kind := range allKinds {
+		for _, seed := range []uint64{1, 2, 3} {
+			d := testDataset(seed)
+			reg := fitKind(t, kind, d, seed)
+			data, err := Encode(reg, FingerprintDataset(d))
+			if err != nil {
+				t.Fatalf("%v seed %d: encode: %v", kind, seed, err)
+			}
+			loaded, _, err := Decode(data)
+			if err != nil {
+				t.Fatalf("%v seed %d: decode: %v", kind, seed, err)
+			}
+			ref, ok := reg.(referencePredictor)
+			if !ok {
+				t.Fatalf("%v: fitted model has no reference kernel", kind)
+			}
+			probe := randx.New(seed ^ 0xF1A7)
+			for q := 0; q < 25; q++ {
+				x := make([]float64, len(d.X[0]))
+				for j := range x {
+					x[j] = probe.Uniform(-2.5, 2.5)
+				}
+				want := ref.PredictReference(x)
+				got := loaded.Predict(x)
+				for j := range want {
+					if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+						t.Fatalf("%v seed %d probe %d out %d: warm flat %v != pointer reference %v",
+							kind, seed, q, j, got[j], want[j])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -10,6 +11,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -29,6 +31,27 @@ const maxBatchProfiles = 256
 // statusClientClosedRequest is nginx's convention for "the client went
 // away before we could answer".
 const statusClientClosedRequest = 499
+
+// bufPool holds request-scoped byte buffers for body reads and response
+// encoding, so the steady-state request path reuses one warm buffer per
+// worker instead of allocating per call. Buffers are returned only
+// after their bytes are fully consumed (json.Unmarshal copies what it
+// keeps; responses are flushed before release).
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// readBody reads at most maxBodyBytes of r's body into a pooled buffer.
+// The returned release func recycles the buffer; the byte slice must
+// not be used after calling it.
+func readBody(r *http.Request) (body []byte, release func(), err error) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	release = func() { bufPool.Put(buf) }
+	if _, err := buf.ReadFrom(io.LimitReader(r.Body, maxBodyBytes)); err != nil {
+		release()
+		return nil, nil, err
+	}
+	return buf.Bytes(), release, nil
+}
 
 // maxQueueWait bounds how long a request queues for a worker slot once
 // the pool is saturated. Past it the server sheds the request with 503
@@ -70,13 +93,15 @@ func (s *Server) handleUC2(w http.ResponseWriter, r *http.Request) { s.handlePre
 // render the distribution summary.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, useCase int) {
 	start := clock()
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	body, release, err := readBody(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
 		return
 	}
 	var req PredictRequest
-	if err := json.Unmarshal(body, &req); err != nil {
+	err = json.Unmarshal(body, &req)
+	release()
+	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
 		return
 	}
@@ -143,13 +168,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, useCase i
 // runs under the normal request deadline.
 func (s *Server) handleUC1Batch(w http.ResponseWriter, r *http.Request) {
 	start := clock()
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	body, release, err := readBody(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
 		return
 	}
 	var req BatchPredictRequest
-	if err := json.Unmarshal(body, &req); err != nil {
+	err = json.Unmarshal(body, &req)
+	release()
+	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON: %v", err))
 		return
 	}
@@ -427,9 +454,31 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Encode into a pooled buffer first: one write to the wire, no
+	// per-response encoder allocation, and a failed encode can't leave a
+	// half-written body behind the already-sent status.
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	err := json.NewEncoder(buf).Encode(v)
 	w.Header().Set("Content-Type", "application/json")
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = fmt.Fprintf(w, `{"error":"encode response: %v","code":500}`+"\n", jsonSafe(err.Error()))
+		bufPool.Put(buf)
+		return
+	}
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	bufPool.Put(buf)
+}
+
+// jsonSafe strips characters that would break a hand-built JSON string.
+func jsonSafe(s string) string {
+	b, _ := json.Marshal(s)
+	if len(b) >= 2 {
+		return string(b[1 : len(b)-1])
+	}
+	return ""
 }
 
 // handleSystems describes the loaded database: what can be asked for
