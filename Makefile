@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet varlint docscheck persistence benchcheck benchcheck-update fuzz cover clean
+.PHONY: all build test race lint vet varlint docscheck persistence drift benchcheck benchcheck-update fuzz cover clean
 
 all: build test
 
@@ -42,6 +42,14 @@ docscheck:
 persistence:
 	$(GO) test -count=1 -run 'Persistence|Registry|Store|Loaded|Decode|Encode|Fingerprint|Key' ./internal/modelstore/ ./internal/core/
 
+# drift mirrors the CI streaming-ingest shard: windowed drift
+# detection, breaker-guarded background refits, copy-on-write merges,
+# and the measurement ingest handlers, under the race detector and
+# bypassing the test cache.
+drift:
+	$(GO) test -race -count=1 ./internal/drift/
+	$(GO) test -race -count=1 -run 'Measurements|Drift|Refit|Ingest|BodyCap|Batch' ./internal/serve/ ./internal/core/ ./internal/faults/
+
 # benchcheck guards the tier-1 hot paths (batch prediction, KS/W1
 # kernels) against BENCH_baseline.json; >20% ns/op regressions fail.
 # Refresh the baseline deliberately with benchcheck-update.
@@ -58,6 +66,7 @@ fuzz:
 	$(GO) test ./internal/measure -run '^$$' -fuzz '^FuzzValidateRuns$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzPredictRequestDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzBatchPredictRequestDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve -run '^$$' -fuzz '^FuzzMeasurementsRequestDecode$$' -fuzztime $(FUZZTIME)
 
 # cover prints per-package coverage and enforces the internal/obs gate
 # (the observability layer must stay >= 80% covered).

@@ -12,12 +12,16 @@
 //	varserve -modeldir models/ -refresh 10m           # with breaker-aware refresh
 //	varserve -loadgen -requests 600 -model xgboost    # self-hosted benchmark
 //	varserve -loadgen -url http://host:8080           # benchmark a remote server
+//	varserve -driftscenario                           # streaming-drift experiment
 //
 // Endpoints: POST /v1/predict/uc1, POST /v1/predict/uc2,
-// GET /v1/systems, /healthz, /readyz, /metrics, /v1/metrics (obs
-// registry), /v1/traces (recent request traces), and — with -pprof —
-// /debug/pprof/. See the "Serving predictions" and "Observability"
-// sections of README.md for the request/response reference.
+// POST /v1/measurements (streaming ingest with drift-triggered
+// background refits; tuned by the -drift* flags), GET /v1/systems,
+// /healthz, /readyz, /metrics, /v1/metrics (obs registry), /v1/traces
+// (recent request traces), and — with -pprof — /debug/pprof/. See the
+// "Serving predictions", "Streaming ingest & drift", and
+// "Observability" sections of README.md for the request/response
+// reference.
 //
 // The server drains gracefully on SIGINT/SIGTERM: readiness flips to
 // 503 and in-flight requests get time to finish.
@@ -36,6 +40,7 @@ import (
 	"expvar"
 
 	"repro/internal/core"
+	"repro/internal/drift"
 	"repro/internal/measure"
 	"repro/internal/modelstore"
 	"repro/internal/perfsim"
@@ -55,6 +60,15 @@ func main() {
 		procs   = flag.Int("procs", 0, "GOMAXPROCS for parallel training/prediction (0 = all cores)")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request deadline")
 		warm    = flag.Bool("warm", false, "pre-train the default full models before serving")
+
+		driftWindow = flag.Int("driftwindow", 0, "streaming-ingest drift window size per (system, benchmark) cell (0 = default 256)")
+		driftMin    = flag.Int("driftmin", 0, "minimum window fill before drift evaluation (0 = default 32)")
+		driftKS     = flag.Float64("driftks", 0, "KS-statistic drift threshold (0 = default 0.25)")
+		driftAlpha  = flag.Float64("driftalpha", 0, "KS p-value significance gate for a breach (0 = default 0.01)")
+		driftHyst   = flag.Int("drifthyst", 0, "consecutive breaching evaluations before a cell trips (0 = default 3)")
+		driftRefits = flag.Int("driftrefits", 0, "max concurrent background refits (0 = default 2)")
+
+		driftScenario = flag.Bool("driftscenario", false, "run the streaming-drift experiment (self-hosted): inject drifted measurements, report detection latency and residual KS vs a no-refit control, exit")
 
 		modelDir   = flag.String("modeldir", "", "persistent model store directory: fitted models are saved there and loaded on restart (empty = off)")
 		modelCache = flag.Int("modelcache", 256, "max models resident in memory with -modeldir (LRU beyond that)")
@@ -87,6 +101,25 @@ func main() {
 	}
 
 	db := loadDatabase(*dbPath, *runs, *seed)
+	driftCfg := drift.Config{
+		WindowSize:   *driftWindow,
+		MinWindow:    *driftMin,
+		KSThreshold:  *driftKS,
+		PValueAlpha:  *driftAlpha,
+		Hysteresis:   *driftHyst,
+		RefitWorkers: *driftRefits,
+		Seed:         *seed,
+	}
+	if *driftScenario {
+		// Self-hosted drift experiment: report and exit (recorded in
+		// EXPERIMENTS.md "Streaming drift").
+		res, err := serve.DriftScenario(ctx, serve.DriftScenarioOptions{DB: db, Drift: driftCfg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res)
+		return
+	}
 	listenAddr := *addr
 	if *loadgen {
 		listenAddr = "127.0.0.1:0" // self-hosted benchmark target
@@ -112,6 +145,7 @@ func main() {
 		SlowTraceThreshold: *slow,
 		TraceBufferSize:    *traces,
 		ModelRegistry:      registry,
+		Drift:              driftCfg,
 	})
 	// Mirror the server's obs registry into the process-global expvar
 	// set (one server per process here, so the name cannot collide).

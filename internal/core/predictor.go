@@ -60,7 +60,11 @@ var (
 // (unknown system/benchmark, quarantined data) never trip the breaker
 // and never fall back; they propagate to the caller unchanged.
 type Predictor struct {
-	db *measure.Database
+	// db is the measurement database, swapped copy-on-write by the
+	// streaming-ingest merge path (SetBenchmarkRuns): readers load a
+	// consistent snapshot once and never see a partial merge.
+	db   atomic.Pointer[measure.Database]
+	dbMu sync.Mutex // serializes writers (copy-on-write swaps)
 
 	datasets  sync.Map // datasetKey -> *dataCell
 	models    sync.Map // modelKey -> *modelCell
@@ -84,11 +88,14 @@ type Predictor struct {
 
 // NewPredictor wraps a loaded measurement database in an empty cache.
 func NewPredictor(db *measure.Database) *Predictor {
-	return &Predictor{db: db, now: randx.SystemClock}
+	p := &Predictor{now: randx.SystemClock}
+	p.db.Store(db)
+	return p
 }
 
-// DB exposes the underlying database (read-only by convention).
-func (p *Predictor) DB() *measure.Database { return p.db }
+// DB exposes the current database snapshot (read-only by convention;
+// the ingest path replaces the whole snapshot rather than mutating it).
+func (p *Predictor) DB() *measure.Database { return p.db.Load() }
 
 // SetBreakerConfig overrides the fit-breaker tuning. Call before
 // serving; breakers already created keep their old configuration.
@@ -372,7 +379,7 @@ func (p *Predictor) buildDataset(k datasetKey) (*uc1Data, error) {
 }
 
 func (p *Predictor) system(name string) (*measure.SystemData, error) {
-	sd, ok := p.db.System(name)
+	sd, ok := p.db.Load().System(name)
 	if !ok {
 		return nil, fmt.Errorf("core: %w %q", ErrUnknownSystem, name)
 	}
@@ -414,8 +421,11 @@ func resolveHoldout(data *uc1Data, holdout string) (test int, train []int, err e
 // records which tier answered; only an actual fit runs the fit hook, so
 // a warm store serves without touching the fit path at all. Fallback
 // models never go through the store: they are cheap memorization whose
-// job is to work when everything else is broken.
-func (p *Predictor) fitResolved(ctx context.Context, data *uc1Data, k modelKey, test int, train []int, fallback bool) (*fittedModel, error) {
+// job is to work when everything else is broken. refresh forces the
+// registry's atomic-swap path (always fit, persist, replace the
+// resident copy) — the drift refitter's contract, where the stored
+// model is known-stale by construction.
+func (p *Predictor) fitResolved(ctx context.Context, data *uc1Data, k modelKey, test int, train []int, fallback, refresh bool) (*fittedModel, error) {
 	model, opts, seed := k.data.params()
 	if fallback {
 		model = KNN
@@ -451,11 +461,23 @@ func (p *Predictor) fitResolved(ctx context.Context, data *uc1Data, k modelKey, 
 	}
 	var reg ml.Regressor
 	var err error
-	if p.registry != nil && !fallback && storable(model) {
+	switch {
+	case p.registry != nil && !fallback && storable(model) && refresh:
+		// Drift refit: never trust memory or disk — fit on the merged
+		// data, persist, and atomically swap the resident entry.
+		err = p.registry.Refresh(storeSpec(k, model, seed, opts, data.fingerprint()).Key(), data.fingerprint(), func() (ml.Regressor, error) {
+			r, ferr := fit()
+			if ferr == nil {
+				reg = r
+			}
+			return r, ferr
+		})
+		span.SetAttr("store", "refresh")
+	case p.registry != nil && !fallback && storable(model):
 		var src modelstore.Source
 		reg, src, err = p.registry.GetOrFit(storeSpec(k, model, seed, opts, data.fingerprint()).Key(), data.fingerprint(), fit)
 		span.SetAttr("store", src.String())
-	} else {
+	default:
 		reg, err = fit()
 	}
 	if err != nil {
@@ -489,7 +511,7 @@ func (p *Predictor) modelStrict(ctx context.Context, k modelKey) (*fittedModel, 
 	if err := br.allow(p.now()); err != nil {
 		return nil, false, err
 	}
-	fm, err := p.fitResolved(ctx, data, k, test, train, false)
+	fm, err := p.fitResolved(ctx, data, k, test, train, false, false)
 	if err != nil {
 		ferr := &fitError{err: err}
 		br.failure(p.now(), ferr)
@@ -521,7 +543,7 @@ func (p *Predictor) fallbackKNN(ctx context.Context, k modelKey) (*fittedModel, 
 	if err != nil {
 		return nil, false, err
 	}
-	fm, err := p.fitResolved(ctx, data, k, test, train, true)
+	fm, err := p.fitResolved(ctx, data, k, test, train, true, false)
 	if err != nil {
 		return nil, false, err
 	}
@@ -735,7 +757,7 @@ func (p *Predictor) decodeProfile(ctx context.Context, m *servedModel, input []f
 		return nil, fmt.Errorf("core: profile has %d features, model expects %d", got, want)
 	}
 	if n <= 0 {
-		n = p.db.RunsPerBenchmark
+		n = p.db.Load().RunsPerBenchmark
 	}
 	if n <= 0 {
 		n = 1000 // the paper's campaign size
@@ -790,7 +812,7 @@ func (p *Predictor) PredictUC1ProfileBatch(ctx context.Context, system string, p
 		rows[i] = prof.Values
 	}
 	if n <= 0 {
-		n = p.db.RunsPerBenchmark
+		n = p.db.Load().RunsPerBenchmark
 	}
 	if n <= 0 {
 		n = 1000 // the paper's campaign size
@@ -838,7 +860,8 @@ func (p *Predictor) Warm(ctx context.Context, uc1 []UC1Config, uc2 []UC2Config) 
 		desc string
 	}
 	var items []warmItem
-	for _, sd := range p.db.Systems {
+	db := p.db.Load()
+	for _, sd := range db.Systems {
 		for _, cfg := range uc1 {
 			items = append(items, warmItem{
 				key:  modelKey{data: datasetKey{useCase: 1, system: sd.SystemName, uc1: cfg}},
@@ -846,7 +869,7 @@ func (p *Predictor) Warm(ctx context.Context, uc1 []UC1Config, uc2 []UC2Config) 
 			})
 		}
 		for _, cfg := range uc2 {
-			for _, dst := range p.db.Systems {
+			for _, dst := range db.Systems {
 				if dst.SystemName == sd.SystemName {
 					continue
 				}

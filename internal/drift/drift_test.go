@@ -1,0 +1,355 @@
+package drift
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/perfsim"
+	"repro/internal/randx"
+)
+
+const nMetrics = 2
+
+// sample draws n valid runs whose seconds are uniform on
+// [0.9*mean, 1.1*mean] — tight enough that two samples from the same
+// mean are statistically indistinguishable and two means 2x apart have
+// disjoint supports.
+func sample(rng *randx.RNG, n int, mean float64) []perfsim.Run {
+	out := make([]perfsim.Run, n)
+	for i := range out {
+		out[i] = perfsim.Run{
+			Seconds: mean * (0.9 + 0.2*rng.Float64()),
+			Metrics: []float64{rng.Float64() * 100, rng.Float64() * 1e6},
+		}
+	}
+	return out
+}
+
+// newTestManager builds a manager over a fixed 80-run baseline at
+// mean 1.0, recording every refit call.
+type refitRecorder struct {
+	mu     sync.Mutex
+	calls  int
+	merged [][]perfsim.Run
+	err    error
+}
+
+func (r *refitRecorder) refit(_ context.Context, _ Key, merged []perfsim.Run) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.calls++
+	r.merged = append(r.merged, merged)
+	return r.err
+}
+
+func (r *refitRecorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.calls
+}
+
+func newTestManager(cfg Config, clock randx.Clock, rec *refitRecorder) *Manager {
+	base := sample(randx.New(1), 80, 1.0)
+	hooks := Hooks{
+		Clock:    clock,
+		Baseline: func(Key) ([]perfsim.Run, error) { return base, nil },
+	}
+	if rec != nil {
+		hooks.Refit = rec.refit
+	}
+	return NewManager(cfg, hooks)
+}
+
+var testKey = Key{System: "intel", Benchmark: "npb/bt"}
+
+// TestCleanStreamNeverTrips is the first detector property: a stream
+// drawn from the training distribution never trips the detector or
+// schedules a refit, across several stream seeds.
+func TestCleanStreamNeverTrips(t *testing.T) {
+	for seed := uint64(2); seed < 8; seed++ {
+		rec := &refitRecorder{}
+		m := newTestManager(Config{WindowSize: 64, MinWindow: 32}, randx.FixedClock(time.Unix(0, 0)), rec)
+		rng := randx.New(seed)
+		for batch := 0; batch < 20; batch++ {
+			res, err := m.Ingest(context.Background(), testKey, sample(rng, 16, 1.0), nMetrics)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Tripped || res.RefitScheduled {
+				t.Fatalf("seed %d batch %d: clean stream tripped (ks=%.3f p=%.3g)", seed, batch, res.KS, res.PValue)
+			}
+		}
+		m.Wait()
+		if rec.count() != 0 {
+			t.Fatalf("seed %d: clean stream caused %d refits", seed, rec.count())
+		}
+		st := m.Snapshot()[0]
+		if st.Trips != 0 || st.RefitOK+st.RefitFail+st.RefitShed != 0 {
+			t.Fatalf("seed %d: refit activity without drift: %+v", seed, st)
+		}
+		if st.State() != "fresh" {
+			t.Errorf("seed %d: evaluated clean cell state = %q, want fresh", seed, st.State())
+		}
+	}
+}
+
+// TestMeanShiftTripsWithinHysteresisBound is the second property: a
+// mean shift with disjoint support trips the detector on exactly the
+// Hysteresis-th evaluation — no earlier (no flapping past the gate) and
+// no later (no missed detections).
+func TestMeanShiftTripsWithinHysteresisBound(t *testing.T) {
+	const hyst = 3
+	rec := &refitRecorder{}
+	m := newTestManager(Config{WindowSize: 64, MinWindow: 32, Hysteresis: hyst}, randx.FixedClock(time.Unix(0, 0)), rec)
+	rng := randx.New(11)
+	evals := 0
+	for batch := 0; batch < 8; batch++ {
+		res, err := m.Ingest(context.Background(), testKey, sample(rng, 16, 2.0), nMetrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Evaluated {
+			if res.Tripped {
+				t.Fatalf("batch %d: tripped before the window reached MinWindow", batch)
+			}
+			continue
+		}
+		evals++
+		if res.KS < 0.99 {
+			t.Fatalf("disjoint supports must give KS ~ 1, got %.3f", res.KS)
+		}
+		if evals < hyst && res.Tripped {
+			t.Fatalf("eval %d: tripped before %d consecutive breaches", evals, hyst)
+		}
+		if evals == hyst {
+			if !res.Tripped || !res.RefitScheduled {
+				t.Fatalf("eval %d: want trip + refit schedule, got %+v", evals, res)
+			}
+			break
+		}
+	}
+	if evals != hyst {
+		t.Fatalf("stream ended after %d evaluations without tripping", evals)
+	}
+	m.Wait()
+	if rec.count() != 1 {
+		t.Fatalf("refit calls = %d, want 1", rec.count())
+	}
+	// The merged set is baseline + full window, oldest first.
+	if got, want := len(rec.merged[0]), 80+64; got != want {
+		t.Errorf("merged size = %d, want %d", got, want)
+	}
+	st := m.Snapshot()[0]
+	if st.State() != "fresh" || st.Tripped || st.RefitOK != 1 {
+		t.Errorf("post-refit cell: %+v", st)
+	}
+	if st.WindowFill != 0 {
+		t.Errorf("window not absorbed after refit: fill = %d", st.WindowFill)
+	}
+	if st.Baseline != 80+64 {
+		t.Errorf("baseline not promoted: %d runs, want %d", st.Baseline, 80+64)
+	}
+}
+
+// TestQuarantinedRunsNeverEnterWindow is the third property: a batch
+// mixing valid and defective runs lands in the window as exactly the
+// valid runs, bit-identical and in order — and the input batch is
+// never mutated.
+func TestQuarantinedRunsNeverEnterWindow(t *testing.T) {
+	m := newTestManager(Config{WindowSize: 64, MinWindow: 32}, randx.FixedClock(time.Unix(0, 0)), nil)
+	valid := sample(randx.New(3), 4, 1.0)
+	batch := []perfsim.Run{
+		valid[0],
+		{Seconds: math.Inf(1), Metrics: []float64{1, 2}}, // non-finite duration
+		valid[1],
+		{Seconds: 1, Metrics: []float64{1}},     // truncated schema
+		{Seconds: -2, Metrics: []float64{1, 2}}, // non-positive duration
+		valid[2],
+		{Seconds: 1, Metrics: []float64{math.Inf(1), 2}}, // non-finite counter
+		{Seconds: 1, Metrics: []float64{1, 2, 3}},        // schema drift
+		valid[3],
+	}
+	backup := perfsim.CloneRuns(batch)
+	res, err := m.Ingest(context.Background(), testKey, batch, nMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Kept != 4 || res.Report.Quarantined != 5 {
+		t.Fatalf("kept=%d quarantined=%d, want 4/5", res.Report.Kept, res.Report.Quarantined)
+	}
+	if !reflect.DeepEqual(batch, backup) {
+		t.Error("Ingest mutated its input batch")
+	}
+	want := perfsim.CloneRuns(valid)
+	window := m.Window(testKey)
+	if !reflect.DeepEqual(window, want) {
+		t.Fatalf("window is not bit-identical to the valid runs:\n got %+v\nwant %+v", window, want)
+	}
+	// Mutating the caller's runs after ingest must not reach the ring
+	// (batch[0] shares its Metrics slice with valid[0], so compare
+	// against the pre-mutation deep copy).
+	batch[0].Metrics[0] = -1e9
+	if !reflect.DeepEqual(m.Window(testKey), want) {
+		t.Error("window aliases caller memory")
+	}
+}
+
+// TestRefitFailureBackoffThenRecovery drives the breaker-guarded
+// retry loop on a step clock: a failing refit books backoff and keeps
+// the cell tripped, a later ingest past the deadline retries, and a
+// succeeding retry finally absorbs the window.
+func TestRefitFailureBackoffThenRecovery(t *testing.T) {
+	rec := &refitRecorder{err: errors.New("drill: refit outage")}
+	// 4s steps: even the doubled-and-jittered backoff (<= 3s) is always
+	// expired by the time the next ingest reads the clock.
+	clock := randx.StepClock(time.Unix(1000, 0), 4*time.Second)
+	m := newTestManager(Config{
+		WindowSize: 64, MinWindow: 32, Hysteresis: 1,
+		BaseBackoff: time.Second, MaxBackoff: 4 * time.Second,
+	}, clock, rec)
+	rng := randx.New(17)
+	res, err := m.Ingest(context.Background(), testKey, sample(rng, 32, 2.0), nMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Tripped || !res.RefitScheduled {
+		t.Fatalf("want immediate trip with hysteresis 1, got %+v", res)
+	}
+	m.Wait()
+	st := m.Snapshot()[0]
+	if st.RefitFail != 1 || st.RefitOK != 0 || !st.Tripped || st.Refitting {
+		t.Fatalf("after failed refit: %+v", st)
+	}
+	if st.RetryAt.IsZero() {
+		t.Fatal("failed refit must book a retry deadline")
+	}
+	if st.State() != "drifted" {
+		t.Errorf("state = %q, want drifted while in backoff", st.State())
+	}
+	// The window survives a failed refit: the retry re-merges it.
+	if st.WindowFill != 32 {
+		t.Errorf("window fill = %d after failure, want 32", st.WindowFill)
+	}
+	// Next ingest lands past the deadline (4s steps vs <= 1.5s delay)
+	// and retries; still failing, the backoff doubles.
+	res, err = m.Ingest(context.Background(), testKey, sample(rng, 16, 2.0), nMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RefitScheduled {
+		t.Fatalf("post-backoff ingest must reschedule the refit: %+v", res)
+	}
+	m.Wait()
+	if st = m.Snapshot()[0]; st.RefitFail != 2 {
+		t.Fatalf("refit failures = %d, want 2", st.RefitFail)
+	}
+	// Outage over: the next retry succeeds and resets the cell.
+	rec.mu.Lock()
+	rec.err = nil
+	rec.mu.Unlock()
+	if _, err = m.Ingest(context.Background(), testKey, sample(rng, 16, 2.0), nMetrics); err != nil {
+		t.Fatal(err)
+	}
+	m.Wait()
+	st = m.Snapshot()[0]
+	if st.RefitOK != 1 || st.Tripped || st.WindowFill != 0 || !st.RetryAt.IsZero() {
+		t.Fatalf("after recovery: %+v", st)
+	}
+	if st.State() != "fresh" {
+		t.Errorf("state = %q, want fresh after recovery", st.State())
+	}
+}
+
+// TestRefitQueueShed fills the refit queue with a blocked worker and
+// verifies the overflow trip is shed (counted, un-claimed) rather than
+// queued unboundedly, and that a shed cell can reschedule later.
+func TestRefitQueueShed(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan Key, 8)
+	var rec refitRecorder
+	base := sample(randx.New(1), 80, 1.0)
+	m := NewManager(Config{
+		WindowSize: 64, MinWindow: 32, Hysteresis: 1,
+		RefitWorkers: 1, RefitQueue: 1,
+	}, Hooks{
+		Clock:    randx.FixedClock(time.Unix(0, 0)),
+		Baseline: func(Key) ([]perfsim.Run, error) { return base, nil },
+		Refit: func(ctx context.Context, k Key, merged []perfsim.Run) error {
+			started <- k
+			<-gate
+			return rec.refit(ctx, k, merged)
+		},
+	})
+	rng := randx.New(23)
+	keys := []Key{
+		{System: "intel", Benchmark: "npb/a"},
+		{System: "intel", Benchmark: "npb/b"},
+		{System: "intel", Benchmark: "npb/c"},
+	}
+	// First trip occupies the single worker (blocked on the gate).
+	res, err := m.Ingest(context.Background(), keys[0], sample(rng, 32, 2.0), nMetrics)
+	if err != nil || !res.RefitScheduled {
+		t.Fatalf("first trip: %+v, %v", res, err)
+	}
+	<-started // the worker is now inside the refit hook
+	// Second trip queues; third finds the queue full and is shed.
+	if res, err = m.Ingest(context.Background(), keys[1], sample(rng, 32, 2.0), nMetrics); err != nil || !res.RefitScheduled {
+		t.Fatalf("second trip: %+v, %v", res, err)
+	}
+	res, err = m.Ingest(context.Background(), keys[2], sample(rng, 32, 2.0), nMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RefitScheduled {
+		t.Fatal("third trip must be shed, not scheduled")
+	}
+	close(gate)
+	m.Wait()
+	byCell := map[string]CellStatus{}
+	for _, st := range m.Snapshot() {
+		byCell[st.Cell] = st
+	}
+	if st := byCell[keys[2].String()]; st.RefitShed != 1 || st.RefitOK != 0 {
+		t.Fatalf("shed cell: %+v", st)
+	}
+	if byCell[keys[0].String()].RefitOK != 1 || byCell[keys[1].String()].RefitOK != 1 {
+		t.Fatalf("queued cells must refit once the worker frees: %+v", byCell)
+	}
+	// The shed cell is un-claimed: its next ingest reschedules.
+	res, err = m.Ingest(context.Background(), keys[2], sample(rng, 16, 2.0), nMetrics)
+	if err != nil || !res.RefitScheduled {
+		t.Fatalf("shed cell must reschedule: %+v, %v", res, err)
+	}
+	m.Wait()
+	if st := m.Window(keys[2]); len(st) != 0 {
+		t.Errorf("shed cell window not absorbed after its refit: %d runs", len(st))
+	}
+}
+
+// TestBaselineErrors covers cell construction failures: a failing
+// baseline hook and a too-small baseline both surface as errors, and
+// nothing is cached for the key.
+func TestBaselineErrors(t *testing.T) {
+	m := NewManager(Config{}, Hooks{
+		Clock:    randx.FixedClock(time.Unix(0, 0)),
+		Baseline: func(Key) ([]perfsim.Run, error) { return nil, errors.New("no such cell") },
+	})
+	if _, err := m.Ingest(context.Background(), testKey, sample(randx.New(1), 4, 1.0), nMetrics); err == nil {
+		t.Fatal("failing baseline hook must fail ingest")
+	}
+	m = NewManager(Config{}, Hooks{
+		Clock:    randx.FixedClock(time.Unix(0, 0)),
+		Baseline: func(Key) ([]perfsim.Run, error) { return sample(randx.New(1), 1, 1.0), nil },
+	})
+	if _, err := m.Ingest(context.Background(), testKey, sample(randx.New(1), 4, 1.0), nMetrics); err == nil {
+		t.Fatal("single-run baseline must be rejected")
+	}
+	if len(m.Snapshot()) != 0 {
+		t.Error("failed cell construction must not cache a cell")
+	}
+}

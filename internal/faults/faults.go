@@ -139,11 +139,12 @@ func (inj *Injector) Report() *Report { return &inj.report }
 
 // streamRNG derives the deterministic per-stream RNG: the seed hashed
 // with the stream's identity (e.g. "intel/npb/bt/runs"), so injection
-// outcomes do not depend on which other streams were processed.
-func (inj *Injector) streamRNG(stream string) *randx.RNG {
+// outcomes do not depend on which other streams were processed. The
+// campaign and streaming-batch injectors share this derivation.
+func streamRNG(seed uint64, stream string) *randx.RNG {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(stream))
-	return randx.NewPair(inj.cfg.Seed^h.Sum64(), inj.cfg.Seed+0x9E3779B97F4A7C15*h.Sum64())
+	return randx.NewPair(seed^h.Sum64(), seed+0x9E3779B97F4A7C15*h.Sum64())
 }
 
 // Apply returns a faulted deep copy of runs; the input is never
@@ -152,7 +153,7 @@ func (inj *Injector) streamRNG(stream string) *randx.RNG {
 // benchKey labels the report entries (usually stream minus the
 // trailing set name).
 func (inj *Injector) Apply(stream, benchKey string, runs []perfsim.Run) []perfsim.Run {
-	rng := inj.streamRNG(stream)
+	rng := streamRNG(inj.cfg.Seed, stream)
 	out := make([]perfsim.Run, 0, len(runs))
 	c := inj.cfg
 	for i := range runs {

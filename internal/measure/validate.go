@@ -75,8 +75,10 @@ func (r *QuarantineReport) addClass(class string) {
 	r.ByClass[class]++
 }
 
-// merge folds another report into this one (used for system totals).
-func (r *QuarantineReport) merge(o QuarantineReport) {
+// Merge folds another report into this one — system totals here, and
+// the per-cell running quarantine counters of the streaming ingest
+// path (internal/drift) which accumulates one report per batch.
+func (r *QuarantineReport) Merge(o QuarantineReport) {
 	r.Total += o.Total
 	r.Kept += o.Kept
 	r.Quarantined += o.Quarantined
@@ -308,8 +310,8 @@ type SystemQuarantine struct {
 func Summarize(system string, reports []BenchmarkQuarantine) SystemQuarantine {
 	out := SystemQuarantine{System: system, Benchmarks: reports}
 	for i := range reports {
-		out.Runs.merge(reports[i].Runs)
-		out.Probes.merge(reports[i].Probes)
+		out.Runs.Merge(reports[i].Runs)
+		out.Probes.Merge(reports[i].Probes)
 	}
 	return out
 }

@@ -3,7 +3,11 @@ package serve
 import (
 	"encoding/json"
 	"math"
+	"reflect"
 	"testing"
+
+	"repro/internal/measure"
+	"repro/internal/perfsim"
 )
 
 // FuzzPredictRequestDecode throws arbitrary bytes at the single-predict
@@ -77,4 +81,75 @@ func FuzzBatchPredictRequestDecode(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzMeasurementsRequestDecode covers the streaming-ingest wire path:
+// JSON decode, the handler's shape checks, the run conversion, and the
+// quarantine validation the batch flows into. Nothing may panic, the
+// decoded batch must never be mutated by validation, and the
+// quarantine counters must stay consistent with the partition.
+func FuzzMeasurementsRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"system":"intel","benchmark":"npb/bt","runs":[{"seconds":1.5,"metrics":[1,2,3]}]}`))
+	f.Add([]byte(`{"system":"intel","benchmark":"npb/bt","runs":[]}`))
+	f.Add([]byte(`{"system":"","benchmark":"npb/bt","runs":[{"seconds":-1,"metrics":[]}]}`))
+	f.Add([]byte(`{"system":"intel","benchmark":"npb/bt","runs":[{"seconds":1e308,"metrics":[null]}]}`))
+	f.Add([]byte(`{"runs":[{"metrics":[1,2]},{"seconds":2},{"seconds":0.5,"metrics":[3,4]}]}`))
+	f.Add([]byte(`{"system":"\\u0000","benchmark":" ","runs":[{"seconds":1,"metrics":[-1,2]}]}`))
+	f.Add([]byte(`{"sys`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[{"seconds":1}]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req MeasurementsRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return // malformed JSON is the decoder's job to reject
+		}
+		// The handler's own shape checks must never panic.
+		_ = req.System == "" || req.Benchmark == ""
+		_ = len(req.Runs) == 0 || len(req.Runs) > maxIngestRuns
+		runs := toRuns(req.Runs)
+		if len(runs) != len(req.Runs) {
+			t.Fatalf("toRuns dropped runs: %d != %d", len(runs), len(req.Runs))
+		}
+		// Deep-copy by hand: CloneRuns would normalize empty metric
+		// slices to nil, which DeepEqual distinguishes from []float64{}.
+		backup := make([]perfsim.Run, len(runs))
+		for i, r := range runs {
+			backup[i] = r
+			if r.Metrics != nil {
+				backup[i].Metrics = append(make([]float64, 0, len(r.Metrics)), r.Metrics...)
+			}
+		}
+		for _, nMetrics := range []int{0, 3} {
+			kept, rep := measure.ValidateRuns(runs, nMetrics, 0, measure.ValidationPolicy{})
+			if rep.Total != len(runs) {
+				t.Fatalf("report total %d != batch %d", rep.Total, len(runs))
+			}
+			if rep.Kept != len(kept) || rep.Kept+rep.Quarantined != rep.Total {
+				t.Fatalf("inconsistent counters: %+v with %d kept", rep, len(kept))
+			}
+			if rep.Quarantined > 0 && len(rep.ByClass) == 0 {
+				t.Fatalf("quarantine without defect classes: %+v", rep)
+			}
+		}
+		// NaN-free inputs must come through validation untouched
+		// (DeepEqual cannot certify NaN payloads; skip those).
+		if !hasNaN(runs) && !reflect.DeepEqual(runs, backup) {
+			t.Fatal("validation mutated the decoded batch")
+		}
+	})
+}
+
+func hasNaN(runs []perfsim.Run) bool {
+	for _, r := range runs {
+		if math.IsNaN(r.Seconds) {
+			return true
+		}
+		for _, v := range r.Metrics {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+	}
+	return false
 }

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"math"
 	"net/http"
 	"sort"
@@ -39,18 +38,36 @@ const statusClientClosedRequest = 499
 // keeps; responses are flushed before release).
 var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
-// readBody reads at most maxBodyBytes of r's body into a pooled buffer.
-// The returned release func recycles the buffer; the byte slice must
-// not be used after calling it.
-func readBody(r *http.Request) (body []byte, release func(), err error) {
+// readBody reads at most maxBodyBytes of r's body into a pooled
+// buffer. The cap is enforced with http.MaxBytesReader rather than a
+// silent LimitReader truncation: an oversized body surfaces as a
+// *http.MaxBytesError (rendered as a structured 413 by
+// writeBodyError) instead of a confusing JSON decode error on a
+// half-read document, and the connection is closed so the client
+// stops uploading. The returned release func recycles the buffer; the
+// byte slice must not be used after calling it.
+func readBody(w http.ResponseWriter, r *http.Request) (body []byte, release func(), err error) {
 	buf := bufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	release = func() { bufPool.Put(buf) }
-	if _, err := buf.ReadFrom(io.LimitReader(r.Body, maxBodyBytes)); err != nil {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if _, err := buf.ReadFrom(r.Body); err != nil {
 		release()
 		return nil, nil, err
 	}
 	return buf.Bytes(), release, nil
+}
+
+// writeBodyError renders a body-read failure: a structured 413 for
+// bodies over the cap, 400 for transport errors.
+func writeBodyError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds the %d-byte limit", mbe.Limit))
+		return
+	}
+	writeError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
 }
 
 // maxQueueWait bounds how long a request queues for a worker slot once
@@ -93,9 +110,9 @@ func (s *Server) handleUC2(w http.ResponseWriter, r *http.Request) { s.handlePre
 // render the distribution summary.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, useCase int) {
 	start := clock()
-	body, release, err := readBody(r)
+	body, release, err := readBody(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		writeBodyError(w, err)
 		return
 	}
 	var req PredictRequest
@@ -168,9 +185,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, useCase i
 // runs under the normal request deadline.
 func (s *Server) handleUC1Batch(w http.ResponseWriter, r *http.Request) {
 	start := clock()
-	body, release, err := readBody(r)
+	body, release, err := readBody(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		writeBodyError(w, err)
 		return
 	}
 	var req BatchPredictRequest
@@ -589,6 +606,42 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 			}
 		}
 		resp.Quarantine = append(resp.Quarantine, j)
+	}
+	if cells := s.drift.Snapshot(); len(cells) > 0 {
+		d := &DriftStatusJSON{}
+		now := clock()
+		for i := range cells {
+			c := &cells[i]
+			j := DriftCellJSON{
+				Cell:        c.Cell,
+				State:       c.State(),
+				WindowFill:  c.WindowFill,
+				WindowCap:   c.WindowCap,
+				BaselineN:   c.Baseline,
+				Ingested:    c.Ingested,
+				Accepted:    c.Accepted,
+				Quarantined: c.Quarantined,
+				Repaired:    c.Repaired,
+				ByClass:     c.ByClass,
+				Evals:       c.Evals,
+				Breaches:    c.Breaches,
+				Trips:       c.Trips,
+				RefitOK:     c.RefitOK,
+				RefitFail:   c.RefitFail,
+				RefitShed:   c.RefitShed,
+			}
+			if c.HasEval {
+				j.KS, j.W1, j.PValue = &c.KS, &c.W1, &c.PValue
+			}
+			if c.HasRefit {
+				j.LastRefitAgeMS = float64(now.Sub(c.LastRefit)) / float64(time.Millisecond)
+			}
+			if c.Tripped {
+				d.Drifted++
+			}
+			d.Cells = append(d.Cells, j)
+		}
+		resp.Drift = d
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

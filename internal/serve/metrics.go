@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/drift"
 	"repro/internal/obs"
 )
 
@@ -92,8 +93,9 @@ func summaryFromHist(h obs.HistSnapshot) LatencySummary {
 // latencyPrefix is the registry-name prefix of per-route histograms.
 const latencyPrefix = "http.latency."
 
-// snapshot renders the metrics as one JSON-encodable value.
-func (m *Metrics) snapshot(pred *core.Predictor, inFlight int64) map[string]any {
+// snapshot renders the metrics as one JSON-encodable value. cells is
+// the drift manager's per-cell state (nil when no cell exists yet).
+func (m *Metrics) snapshot(pred *core.Predictor, cells []drift.CellStatus, inFlight int64) map[string]any {
 	counts := func(ev *expvar.Map) map[string]int64 {
 		out := map[string]int64{}
 		ev.Do(func(kv expvar.KeyValue) {
@@ -142,6 +144,40 @@ func (m *Metrics) snapshot(pred *core.Predictor, inFlight int64) map[string]any 
 			"resident":    ss.Resident,
 		}
 	}
+	if len(cells) > 0 {
+		drifted, refitOK, refitFail, refitShed := 0, 0, 0, 0
+		perCell := map[string]any{}
+		now := clock()
+		for i := range cells {
+			c := &cells[i]
+			if c.Tripped {
+				drifted++
+			}
+			refitOK += c.RefitOK
+			refitFail += c.RefitFail
+			refitShed += c.RefitShed
+			cellOut := map[string]any{
+				"state":       c.State(),
+				"ks":          c.KS,
+				"w1":          c.W1,
+				"window_fill": c.WindowFill,
+				"accepted":    c.Accepted,
+				"quarantined": c.Quarantined,
+			}
+			if c.HasRefit {
+				cellOut["last_refit_age_ms"] = float64(now.Sub(c.LastRefit)) / float64(time.Millisecond)
+			}
+			perCell[c.Cell] = cellOut
+		}
+		out["drift"] = map[string]any{
+			"cells":      len(cells),
+			"drifted":    drifted,
+			"refit_ok":   refitOK,
+			"refit_fail": refitFail,
+			"refit_shed": refitShed,
+			"by_cell":    perCell,
+		}
+	}
 	return out
 }
 
@@ -150,7 +186,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(s.metrics.snapshot(s.pred, s.metrics.inFlight.Value()))
+	_ = enc.Encode(s.metrics.snapshot(s.pred, s.drift.Snapshot(), s.metrics.inFlight.Value()))
 }
 
 // handleObsMetrics serves the raw obs registry: every counter, gauge,
@@ -168,6 +204,33 @@ func (s *Server) handleObsMetrics(w http.ResponseWriter, _ *http.Request) {
 		s.metrics.reg.Gauge("modelstore.misses").Set(float64(ss.Misses))
 		s.metrics.reg.Gauge("modelstore.evictions").Set(float64(ss.Evictions))
 		s.metrics.reg.Gauge("modelstore.resident").Set(float64(ss.Resident))
+	}
+	// Staleness/drift gauges, mirrored per cell at scrape time like the
+	// model-store gauges above (Set is idempotent, so scrapes race-free).
+	if cells := s.drift.Snapshot(); len(cells) > 0 {
+		now := clock()
+		drifted := 0
+		for i := range cells {
+			c := &cells[i]
+			if c.Tripped {
+				drifted++
+			}
+			s.metrics.reg.Gauge("drift.ks." + c.Cell).Set(c.KS)
+			s.metrics.reg.Gauge("drift.w1." + c.Cell).Set(c.W1)
+			s.metrics.reg.Gauge("drift.window_fill." + c.Cell).Set(float64(c.WindowFill))
+			s.metrics.reg.Gauge("drift.accepted." + c.Cell).Set(float64(c.Accepted))
+			s.metrics.reg.Gauge("drift.quarantined." + c.Cell).Set(float64(c.Quarantined))
+			s.metrics.reg.Gauge("drift.refit_ok." + c.Cell).Set(float64(c.RefitOK))
+			s.metrics.reg.Gauge("drift.refit_fail." + c.Cell).Set(float64(c.RefitFail))
+			s.metrics.reg.Gauge("drift.refit_shed." + c.Cell).Set(float64(c.RefitShed))
+			age := -1.0 // "never refitted" sentinel
+			if c.HasRefit {
+				age = float64(now.Sub(c.LastRefit)) / float64(time.Millisecond)
+			}
+			s.metrics.reg.Gauge("drift.last_refit_age_ms." + c.Cell).Set(age)
+		}
+		s.metrics.reg.Gauge("drift.cells").Set(float64(len(cells)))
+		s.metrics.reg.Gauge("drift.drifted").Set(float64(drifted))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

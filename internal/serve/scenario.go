@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/drift"
+	"repro/internal/measure"
+)
+
+// DriftScenarioOptions parameterizes the streaming-drift experiment
+// (varserve's -driftscenario flag): two self-hosted servers are fed
+// the same drifted measurement stream over POST /v1/measurements —
+// one with the refit loop live (treatment), one with an unbreachable
+// KS threshold so it observes the drift but never reacts (no-refit
+// control) — and the report compares detection latency and the
+// detector's residual KS after the treatment's refits land.
+type DriftScenarioOptions struct {
+	// DB is the measurement database both servers serve from (the
+	// treatment merges drifted windows into its own copy-on-write
+	// snapshots; the shared seed database is never mutated).
+	DB *measure.Database
+	// System names the drifted system (default: the first).
+	System string
+	// Drift tunes the treatment detector (zero value = defaults).
+	Drift drift.Config
+	// ScaleFactor scales each cell's wall times to fake the drifted
+	// distribution (default 2.0 — disjoint support, KS 1 vs baseline).
+	ScaleFactor float64
+	// Batches and BatchSize shape the drifted stream per cell
+	// (defaults 12 batches of 16 runs).
+	Batches   int
+	BatchSize int
+	// ProbeBatches are streamed per cell after the refits settle; the
+	// last probe's KS is the residual-drift reading (default 2).
+	ProbeBatches int
+}
+
+func (o DriftScenarioOptions) withDefaults() DriftScenarioOptions {
+	if o.ScaleFactor <= 0 {
+		o.ScaleFactor = 2.0
+	}
+	if o.Batches <= 0 {
+		o.Batches = 12
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 16
+	}
+	if o.ProbeBatches <= 0 {
+		o.ProbeBatches = 2
+	}
+	return o
+}
+
+// DriftCellOutcome is one cell's scenario record.
+type DriftCellOutcome struct {
+	Cell string `json:"cell"`
+	// TrippedBatch is the 1-based batch at which the treatment
+	// detector tripped (0 = never); DetectionRuns the drifted runs
+	// ingested up to and including that batch.
+	TrippedBatch  int `json:"tripped_batch"`
+	DetectionRuns int `json:"detection_runs"`
+	// RefitOK/RefitFail count the cell's background refits.
+	RefitOK   int `json:"refit_ok"`
+	RefitFail int `json:"refit_fail"`
+	// FinalKS is the last probe KS against the treatment's refreshed
+	// baseline; ControlKS the same probe against the control's stale
+	// baseline.
+	FinalKS   float64 `json:"final_ks"`
+	ControlKS float64 `json:"control_ks"`
+}
+
+// DriftScenarioResult is the aggregate scenario report.
+type DriftScenarioResult struct {
+	System string             `json:"system"`
+	Cells  []DriftCellOutcome `json:"cells"`
+	// MeanDetectionBatches averages the per-cell trip latency (tripped
+	// cells only); MeanFinalKS / MeanControlKS average the residual
+	// probe KS across cells.
+	MeanDetectionBatches float64 `json:"mean_detection_batches"`
+	MeanFinalKS          float64 `json:"mean_final_ks"`
+	MeanControlKS        float64 `json:"mean_control_ks"`
+	// Refit totals across the treatment server.
+	RefitOK   int           `json:"refit_ok"`
+	RefitFail int           `json:"refit_fail"`
+	RefitShed int           `json:"refit_shed"`
+	Elapsed   time.Duration `json:"elapsed"`
+}
+
+// String renders the report the way cmd/varserve prints it.
+func (r *DriftScenarioResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "drift scenario: system %s, %d cells, %v\n", r.System, len(r.Cells), r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  detection: mean %.1f batches to trip\n", r.MeanDetectionBatches)
+	fmt.Fprintf(&b, "  refits: %d ok, %d failed, %d shed\n", r.RefitOK, r.RefitFail, r.RefitShed)
+	fmt.Fprintf(&b, "  residual KS after refit: %.3f (no-refit control: %.3f)", r.MeanFinalKS, r.MeanControlKS)
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "\n    %-24s trip@%-2d (%d runs)  refits=%d  ks=%.3f vs control %.3f",
+			c.Cell, c.TrippedBatch, c.DetectionRuns, c.RefitOK, c.FinalKS, c.ControlKS)
+	}
+	return b.String()
+}
+
+// DriftScenario runs the experiment: self-host treatment and control
+// servers over the same database, stream the drifted batches to both,
+// let the treatment's background refits settle, then probe both with
+// fresh drifted batches and read the detectors' residual KS.
+func DriftScenario(ctx context.Context, opts DriftScenarioOptions) (*DriftScenarioResult, error) {
+	opts = opts.withDefaults()
+	if opts.DB == nil || len(opts.DB.Systems) == 0 {
+		return nil, fmt.Errorf("drift scenario: no database")
+	}
+	sd := &opts.DB.Systems[0]
+	if opts.System != "" {
+		var ok bool
+		if sd, ok = opts.DB.System(opts.System); !ok {
+			return nil, fmt.Errorf("drift scenario: unknown system %q", opts.System)
+		}
+	}
+
+	controlCfg := opts.Drift
+	controlCfg.KSThreshold = 2 // KS is bounded by 1: observes, never trips
+	treatment, err := scenarioServer(ctx, opts.DB, opts.Drift)
+	if err != nil {
+		return nil, err
+	}
+	defer treatment.stop()
+	control, err := scenarioServer(ctx, opts.DB, controlCfg)
+	if err != nil {
+		return nil, err
+	}
+	defer control.stop()
+
+	start := clock()
+	res := &DriftScenarioResult{System: sd.SystemName}
+	// Phase 1: the drifted stream, to both servers in the same order.
+	outcomes := make([]DriftCellOutcome, len(sd.Benchmarks))
+	for i := range sd.Benchmarks {
+		bench := &sd.Benchmarks[i]
+		stream := driftedStream(bench, opts.ScaleFactor, opts.Batches*opts.BatchSize, 0)
+		tr, err := StreamMeasurements(ctx, StreamOptions{
+			URL: treatment.url, System: sd.SystemName, Benchmark: bench.Workload.ID(),
+			Runs: stream, BatchSize: opts.BatchSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := StreamMeasurements(ctx, StreamOptions{
+			URL: control.url, System: sd.SystemName, Benchmark: bench.Workload.ID(),
+			Runs: stream, BatchSize: opts.BatchSize,
+		}); err != nil {
+			return nil, err
+		}
+		outcomes[i] = DriftCellOutcome{
+			Cell:          sd.SystemName + "/" + bench.Workload.ID(),
+			TrippedBatch:  tr.TrippedBatch,
+			DetectionRuns: tr.TrippedBatch * opts.BatchSize,
+		}
+	}
+	// Phase 2: let every queued background refit finish.
+	treatment.srv.Drift().Wait()
+	// Phase 3: probe both detectors with fresh drifted batches. The
+	// treatment's baseline now contains the merged window, the
+	// control's is still the original campaign.
+	for i := range sd.Benchmarks {
+		bench := &sd.Benchmarks[i]
+		probe := driftedStream(bench, opts.ScaleFactor, opts.ProbeBatches*opts.BatchSize, opts.Batches*opts.BatchSize)
+		for _, tgt := range []struct {
+			url string
+			ks  *float64
+		}{{treatment.url, &outcomes[i].FinalKS}, {control.url, &outcomes[i].ControlKS}} {
+			pr, err := StreamMeasurements(ctx, StreamOptions{
+				URL: tgt.url, System: sd.SystemName, Benchmark: bench.Workload.ID(),
+				Runs: probe, BatchSize: opts.BatchSize,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if pr.Final != nil && pr.Final.Drift != nil {
+				*tgt.ks = pr.Final.Drift.KS
+			}
+		}
+	}
+	treatment.srv.Drift().Wait() // probes may have re-tripped
+
+	byCell := map[string]drift.CellStatus{}
+	for _, cs := range treatment.srv.Drift().Snapshot() {
+		byCell[cs.Cell] = cs
+		res.RefitOK += cs.RefitOK
+		res.RefitFail += cs.RefitFail
+		res.RefitShed += cs.RefitShed
+	}
+	var tripped int
+	for i := range outcomes {
+		o := &outcomes[i]
+		if cs, ok := byCell[o.Cell]; ok {
+			o.RefitOK, o.RefitFail = cs.RefitOK, cs.RefitFail
+		}
+		if o.TrippedBatch > 0 {
+			tripped++
+			res.MeanDetectionBatches += float64(o.TrippedBatch)
+		}
+		res.MeanFinalKS += o.FinalKS
+		res.MeanControlKS += o.ControlKS
+	}
+	if tripped > 0 {
+		res.MeanDetectionBatches /= float64(tripped)
+	}
+	if len(outcomes) > 0 {
+		res.MeanFinalKS /= float64(len(outcomes))
+		res.MeanControlKS /= float64(len(outcomes))
+	}
+	res.Cells = outcomes
+	res.Elapsed = clock.Since(start)
+	return res, nil
+}
+
+// driftedStream builds n wire runs for a cell by cycling its campaign
+// runs (starting at offset, so probe batches continue the stream
+// rather than replaying it) with wall times scaled by factor. The
+// counters are passed through untouched, so every run is
+// schema-valid: the drift is purely in the run-time distribution.
+func driftedStream(bench *measure.BenchmarkData, factor float64, n, offset int) []ProbeRun {
+	out := make([]ProbeRun, n)
+	for i := range out {
+		r := bench.Runs[(offset+i)%len(bench.Runs)]
+		out[i] = ProbeRun{Seconds: r.Seconds * factor, Metrics: r.Metrics}
+	}
+	return out
+}
+
+// scenarioHost is one self-hosted scenario server.
+type scenarioHost struct {
+	srv  *Server
+	url  string
+	stop func()
+}
+
+// scenarioServer builds, binds, and serves a scenario instance on a
+// loopback port.
+func scenarioServer(ctx context.Context, db *measure.Database, cfg drift.Config) (*scenarioHost, error) {
+	srv := New(db, Config{Addr: "127.0.0.1:0", Drift: cfg})
+	if err := srv.Listen(); err != nil {
+		return nil, err
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	//lint:allow lockcheck one serving goroutine per scenario host, joined by stop() before DriftScenario returns
+	go func() {
+		defer close(done)
+		_ = srv.Serve(sctx) // a canceled context is the normal exit
+	}()
+	return &scenarioHost{
+		srv: srv,
+		url: "http://" + srv.Addr(),
+		stop: func() {
+			cancel()
+			<-done
+		},
+	}, nil
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/drift"
+)
+
+// TestDriftScenarioSmoke runs a miniature streaming-drift experiment
+// end to end over real loopback servers: every cell of the drifted
+// system must trip on the first evaluated batch (hysteresis 1), the
+// treatment's refits must pull the detector's residual KS below the
+// no-refit control, and the control must keep reading (near-)maximal
+// drift against its stale baseline.
+func TestDriftScenarioSmoke(t *testing.T) {
+	res, err := DriftScenario(context.Background(), DriftScenarioOptions{
+		DB:     testCampaign(t),
+		System: "intel",
+		Drift: drift.Config{
+			WindowSize: 32, MinWindow: 16, Hysteresis: 1, Seed: 7,
+		},
+		Batches: 2, BatchSize: 16, ProbeBatches: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.System != "intel" || len(res.Cells) == 0 {
+		t.Fatalf("bad report shape: %+v", res)
+	}
+	for _, c := range res.Cells {
+		// Fill 16 = MinWindow on batch 1, disjoint support, hysteresis
+		// 1: the first evaluation must trip.
+		if c.TrippedBatch != 1 {
+			t.Errorf("%s: tripped at batch %d, want 1", c.Cell, c.TrippedBatch)
+		}
+		if c.RefitOK == 0 {
+			t.Errorf("%s: no successful refit recorded", c.Cell)
+		}
+		if c.RefitFail != 0 {
+			t.Errorf("%s: %d refit failures in a healthy run", c.Cell, c.RefitFail)
+		}
+	}
+	if res.RefitOK == 0 || res.RefitFail != 0 {
+		t.Errorf("refit totals: ok=%d fail=%d shed=%d", res.RefitOK, res.RefitFail, res.RefitShed)
+	}
+	// The ×2 stream has (nearly) disjoint support with the stale
+	// baseline, so the control reads near-maximal KS forever; the
+	// treatment's merges must pull the residual well below it.
+	if res.MeanControlKS < 0.8 {
+		t.Errorf("no-refit control KS %.3f, want near-maximal drift", res.MeanControlKS)
+	}
+	if res.MeanFinalKS > res.MeanControlKS-0.1 {
+		t.Errorf("refits did not recover: residual KS %.3f vs control %.3f",
+			res.MeanFinalKS, res.MeanControlKS)
+	}
+	if res.String() == "" {
+		t.Error("empty report rendering")
+	}
+	if _, err := DriftScenario(context.Background(), DriftScenarioOptions{
+		DB: testCampaign(t), System: "vax",
+	}); err == nil {
+		t.Error("unknown system must be rejected")
+	}
+}

@@ -9,10 +9,13 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/drift"
+	"repro/internal/faults"
 	"repro/internal/measure"
 	"repro/internal/modelstore"
 	"repro/internal/obs"
@@ -46,6 +49,14 @@ type Config struct {
 	// and a restarted process loads them instead of refitting, so a warm
 	// store serves its first prediction with no fit on the hot path.
 	ModelRegistry *modelstore.Registry
+	// Drift tunes the streaming-ingest drift detector and background
+	// refit loop behind POST /v1/measurements (zero value = defaults).
+	Drift drift.Config
+	// IngestFaults, when set, routes every decoded measurement batch
+	// through the streaming-batch fault injector (duplicate replay,
+	// reordering, truncation) — the deterministic drill lever for the
+	// ingest path. Production leaves it nil.
+	IngestFaults *faults.BatchInjector
 }
 
 func (c Config) withDefaults() Config {
@@ -71,10 +82,16 @@ type Server struct {
 	pred    *core.Predictor
 	metrics *Metrics
 	tracer  *obs.Tracer
+	drift   *drift.Manager
 	sem     chan struct{}
 	ready   atomic.Bool
 	mux     *http.ServeMux
 	ln      net.Listener
+
+	// ingestMu serializes the (not concurrency-safe) batch fault
+	// injector and the per-cell batch sequence numbers behind it.
+	ingestMu  sync.Mutex
+	ingestSeq map[drift.Key]uint64
 }
 
 // New builds a server over a loaded measurement database.
@@ -94,8 +111,17 @@ func New(db *measure.Database, cfg Config) *Server {
 		BufferSize:    s.cfg.TraceBufferSize,
 		SlowThreshold: s.cfg.SlowTraceThreshold,
 	})
+	s.ingestSeq = map[drift.Key]uint64{}
+	s.drift = drift.NewManager(s.cfg.Drift, drift.Hooks{
+		// Route through the package clock variable like the tracer.
+		Clock:    func() time.Time { return clock() },
+		Tracer:   s.tracer,
+		Baseline: s.driftBaseline,
+		Refit:    s.refitCell,
+	})
 	s.sem = make(chan struct{}, s.cfg.Workers)
 	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/measurements", s.instrument("POST /v1/measurements", s.handleMeasurements))
 	s.mux.HandleFunc("POST /v1/predict/uc1", s.instrument("POST /v1/predict/uc1", s.handleUC1))
 	s.mux.HandleFunc("POST /v1/predict/uc2", s.instrument("POST /v1/predict/uc2", s.handleUC2))
 	s.mux.HandleFunc("POST /v1/predict/uc1/batch", s.instrument("POST /v1/predict/uc1/batch", s.handleUC1Batch))
@@ -132,6 +158,10 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Tracer exposes the request tracer (trace buffer, slow-trace stats).
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Drift exposes the streaming-ingest drift manager (cell snapshots;
+// Wait, the deterministic test barrier for background refits).
+func (s *Server) Drift() *drift.Manager { return s.drift }
 
 // Listen binds the configured address. Addr reports the bound address
 // afterwards (useful with ":0").

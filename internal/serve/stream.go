@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// StreamOptions parameterizes a measurement-streaming run against a
+// live varserve instance: the caller supplies the runs, the streamer
+// cuts them into batches and posts them to POST /v1/measurements in
+// order, watching the drift block of each response.
+type StreamOptions struct {
+	// URL is the server base URL, e.g. "http://127.0.0.1:8080".
+	URL string
+	// System and Benchmark name the target cell.
+	System, Benchmark string
+	// Runs is the full stream, posted in order.
+	Runs []ProbeRun
+	// BatchSize cuts Runs into POST bodies (default 16).
+	BatchSize int
+	// Timeout bounds each HTTP request (default 2m, matching the load
+	// generator: ingest itself is fast but shares the server with
+	// in-request training).
+	Timeout time.Duration
+}
+
+func (o StreamOptions) withDefaults() StreamOptions {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 16
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Minute
+	}
+	return o
+}
+
+// StreamResult is the aggregate outcome of one measurement stream.
+type StreamResult struct {
+	Batches     int `json:"batches"`
+	Accepted    int `json:"accepted"`
+	Quarantined int `json:"quarantined"`
+	// Rejected counts whole batches answered 422 (fully quarantined).
+	Rejected int `json:"rejected"`
+	// TrippedBatch is the 1-based batch whose response first reported
+	// the detector tripped — the stream-side detection latency — and
+	// RefitBatch the 1-based batch that first scheduled the background
+	// refit. Zero means "never" in both.
+	TrippedBatch int `json:"tripped_batch,omitempty"`
+	RefitBatch   int `json:"refit_batch,omitempty"`
+	// Final is the last response, i.e. the cell's state after the
+	// whole stream landed.
+	Final *MeasurementsResponse `json:"final,omitempty"`
+}
+
+// String renders the report the way cmd/varserve prints it.
+func (r *StreamResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stream: %d batches -> %d accepted, %d quarantined (%d batches rejected)",
+		r.Batches, r.Accepted, r.Quarantined, r.Rejected)
+	if r.TrippedBatch > 0 {
+		fmt.Fprintf(&b, "\n  drift tripped at batch %d", r.TrippedBatch)
+		if r.RefitBatch > 0 {
+			fmt.Fprintf(&b, ", refit scheduled at batch %d", r.RefitBatch)
+		}
+	}
+	if r.Final != nil && r.Final.Drift != nil {
+		d := r.Final.Drift
+		fmt.Fprintf(&b, "\n  final: ks=%.3f w1=%.3f p=%.3g window=%d",
+			d.KS, d.W1, d.PValue, r.Final.WindowFill)
+	}
+	return b.String()
+}
+
+// StreamMeasurements posts the runs to POST /v1/measurements batch by
+// batch (sequentially — ingest order is the experiment variable) and
+// reports how the drift detector responded. A 422 (fully-quarantined
+// batch) is a valid outcome, counted in Rejected; any other non-2xx
+// status aborts the stream with an error.
+func StreamMeasurements(ctx context.Context, opts StreamOptions) (*StreamResult, error) {
+	opts = opts.withDefaults()
+	if opts.System == "" || opts.Benchmark == "" {
+		return nil, fmt.Errorf("stream: system and benchmark are required")
+	}
+	if len(opts.Runs) == 0 {
+		return nil, fmt.Errorf("stream: no runs to post")
+	}
+	client := &http.Client{Timeout: opts.Timeout}
+	endpoint := strings.TrimRight(opts.URL, "/") + "/v1/measurements"
+	res := &StreamResult{}
+	for off := 0; off < len(opts.Runs); off += opts.BatchSize {
+		end := off + opts.BatchSize
+		if end > len(opts.Runs) {
+			end = len(opts.Runs)
+		}
+		mr, status, err := streamOnce(ctx, client, endpoint, MeasurementsRequest{
+			System:    opts.System,
+			Benchmark: opts.Benchmark,
+			Runs:      opts.Runs[off:end],
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Batches++
+		res.Accepted += mr.Accepted
+		res.Quarantined += mr.Quarantined
+		if status == http.StatusUnprocessableEntity {
+			res.Rejected++
+		}
+		if mr.Drift != nil {
+			if mr.Drift.Tripped && res.TrippedBatch == 0 {
+				res.TrippedBatch = res.Batches
+			}
+			if mr.Drift.RefitScheduled && res.RefitBatch == 0 {
+				res.RefitBatch = res.Batches
+			}
+		}
+		res.Final = mr
+	}
+	return res, nil
+}
+
+// streamOnce posts one measurement batch and decodes the response.
+// 200 and 422 both carry a MeasurementsResponse; anything else is an
+// error.
+func streamOnce(ctx context.Context, client *http.Client, endpoint string, body MeasurementsRequest) (*MeasurementsResponse, int, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint, bytes.NewReader(buf))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("stream: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusUnprocessableEntity {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, resp.StatusCode, fmt.Errorf("stream: %s: %s", resp.Status, msg)
+	}
+	var mr MeasurementsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return nil, resp.StatusCode, fmt.Errorf("stream: decode: %w", err)
+	}
+	return &mr, resp.StatusCode, nil
+}

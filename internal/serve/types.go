@@ -198,6 +198,101 @@ type StatusResponse struct {
 	// ModelStore reports the persistent model registry (absent when the
 	// server runs without -modeldir).
 	ModelStore *ModelStoreJSON `json:"model_store,omitempty"`
+	// Drift reports the streaming-ingest cells (absent until the first
+	// POST /v1/measurements creates one).
+	Drift *DriftStatusJSON `json:"drift,omitempty"`
+}
+
+// DriftStatusJSON is the streaming-ingest posture in GET /v1/status.
+type DriftStatusJSON struct {
+	// Drifted counts cells currently tripped (drifted or refitting).
+	Drifted int `json:"drifted"`
+	// Cells lists every ingest cell, sorted by name.
+	Cells []DriftCellJSON `json:"cells"`
+}
+
+// DriftCellJSON is one ingest cell's drift state.
+type DriftCellJSON struct {
+	// Cell is "system/suite/bench"; State is filling | fresh |
+	// drifted | refitting.
+	Cell  string `json:"cell"`
+	State string `json:"state"`
+	// WindowFill of WindowCap recent runs are held; BaselineN is the
+	// training-baseline size the window is compared against.
+	WindowFill int `json:"window_fill"`
+	WindowCap  int `json:"window_cap"`
+	BaselineN  int `json:"baseline_n"`
+	// Ingest counters across all batches of this cell.
+	Ingested    int            `json:"ingested"`
+	Accepted    int            `json:"accepted"`
+	Quarantined int            `json:"quarantined"`
+	Repaired    int            `json:"repaired,omitempty"`
+	ByClass     map[string]int `json:"by_class,omitempty"`
+	// Detector state: KS/W1/PValue are the last evaluation (absent
+	// before the window reaches its minimum fill).
+	Evals    int      `json:"evals"`
+	KS       *float64 `json:"ks,omitempty"`
+	W1       *float64 `json:"w1,omitempty"`
+	PValue   *float64 `json:"p_value,omitempty"`
+	Breaches int      `json:"breaches"`
+	Trips    int      `json:"trips"`
+	// Refit-loop counters; LastRefitAgeMS is the staleness gauge
+	// (absent until the first successful refit).
+	RefitOK        int     `json:"refit_ok"`
+	RefitFail      int     `json:"refit_fail"`
+	RefitShed      int     `json:"refit_shed"`
+	LastRefitAgeMS float64 `json:"last_refit_age_ms,omitempty"`
+}
+
+// MeasurementsRequest is the JSON body of POST /v1/measurements: one
+// batch of freshly measured runs for a (system, benchmark) cell of
+// the database. Runs flow through ingest validation (quarantine) and
+// the survivors feed the drift detector's window.
+type MeasurementsRequest struct {
+	// System and Benchmark name the cell; both must already exist in
+	// the database (ingest extends distributions, it does not create
+	// benchmarks).
+	System    string `json:"system"`
+	Benchmark string `json:"benchmark"`
+	// Runs is the measurement batch, schema-aligned with the system's
+	// metric names (GET /v1/systems).
+	Runs []ProbeRun `json:"runs"`
+}
+
+// MeasurementsResponse reports a batch's ingest outcome. Status 200
+// means at least one run survived validation; 422 carries the same
+// shape (with Error set) when the whole batch was quarantined.
+type MeasurementsResponse struct {
+	System    string `json:"system"`
+	Benchmark string `json:"benchmark"`
+	// Accepted runs entered the window; Quarantined were dropped (and
+	// ByClass says why); Repaired counts accepted runs that needed
+	// counter repair.
+	Accepted    int            `json:"accepted"`
+	Quarantined int            `json:"quarantined"`
+	Repaired    int            `json:"repaired,omitempty"`
+	ByClass     map[string]int `json:"by_class,omitempty"`
+	// WindowFill is the cell's ring fill after this batch.
+	WindowFill int `json:"window_fill"`
+	// Drift carries the detector outcome when the window was large
+	// enough to evaluate.
+	Drift *DriftEvalJSON `json:"drift,omitempty"`
+	// Error is set on 422 (fully-unusable batch).
+	Error     string  `json:"error,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// DriftEvalJSON is one drift evaluation, attached to the ingest
+// response that triggered it.
+type DriftEvalJSON struct {
+	KS       float64 `json:"ks"`
+	W1       float64 `json:"w1"`
+	PValue   float64 `json:"p_value"`
+	Breaches int     `json:"breaches"`
+	Tripped  bool    `json:"tripped"`
+	// RefitScheduled is true when this batch queued the background
+	// refit.
+	RefitScheduled bool `json:"refit_scheduled,omitempty"`
 }
 
 // ModelStoreJSON is the model registry's posture in GET /v1/status.
