@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet varlint docscheck persistence drift benchcheck benchcheck-update fuzz cover clean
+.PHONY: all build test race lint vet varlint docscheck lintgraph persistence drift benchcheck benchcheck-update fuzz cover clean
 
 all: build test
 
@@ -23,6 +23,13 @@ vet:
 
 varlint:
 	$(GO) run ./cmd/varlint -cache .varlint-cache ./...
+
+# lintgraph prints the //perf:hotpath reachability report: the roots,
+# every function the call graph proves reachable from them (with one
+# provenance chain each), and the //perf:pooled boundaries that stop
+# propagation. CI uploads it as an artifact on every run.
+lintgraph:
+	$(GO) run ./cmd/varlint -hotreport ./...
 
 # docscheck enforces the documentation floor: every internal package
 # must carry a `// Package <name>` comment (conventionally in doc.go).

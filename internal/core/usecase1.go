@@ -216,6 +216,7 @@ func evaluateLOGO(dataset *ml.Dataset, rel [][]float64, ids []string,
 	for i, s := range splits {
 		idx[s.Group] = i
 	}
+	//lint:allow ctxflow LOGO evaluation is a synchronous CLI workload; the fold pool owns its lifetime and no caller deadline exists
 	_, err = cv.EvaluateParallel(context.Background(), splits, func(split cv.Split) ([]float64, error) {
 		i := idx[split.Group]
 		reg, err := newModel(model, seeds[i], opts)
@@ -226,6 +227,7 @@ func evaluateLOGO(dataset *ml.Dataset, rel [][]float64, ids []string,
 			return nil, err
 		}
 		test := split.Test[0]
+	//lint:allow ctxflow per-fold batch predict in a synchronous CLI evaluation; no caller deadline exists to propagate
 		predVec := ml.PredictBatch(context.Background(), reg, [][]float64{dataset.X[test]})[0]
 		actualRel := rel[test]
 		predRel := rep.Decode(predVec, len(actualRel), rngs[i])
@@ -262,6 +264,7 @@ func evaluateLOGOTolerant(dataset *ml.Dataset, rel [][]float64, ids []string,
 	for i, s := range splits {
 		idx[s.Group] = i
 	}
+	//lint:allow ctxflow LOGO evaluation is a synchronous CLI workload; the fold pool owns its lifetime and no caller deadline exists
 	results := cv.EvaluateTolerant(context.Background(), splits, func(split cv.Split) ([]float64, error) {
 		i := idx[split.Group]
 		reg, err := newModel(model, seeds[i], opts)
@@ -272,6 +275,7 @@ func evaluateLOGOTolerant(dataset *ml.Dataset, rel [][]float64, ids []string,
 			return nil, err
 		}
 		test := split.Test[0]
+	//lint:allow ctxflow per-fold batch predict in a synchronous CLI evaluation; no caller deadline exists to propagate
 		predVec := ml.PredictBatch(context.Background(), reg, [][]float64{dataset.X[test]})[0]
 		actualRel := rel[test]
 		predRel := rep.Decode(predVec, len(actualRel), rngs[i])

@@ -314,6 +314,7 @@ func (m *Manager) Ingest(ctx context.Context, key Key, runs []perfsim.Run, nMetr
 		res.Tripped = c.tripped
 	}()
 	if schedule {
+	//lint:allow ctxflow refits run detached from the ingest request; their spans belong to the background drain, not the caller's trace
 		res.RefitScheduled = m.enqueue(c)
 	}
 	return res, nil
@@ -393,6 +394,7 @@ func (m *Manager) dispatch() {
 		}
 		// Refit errors are absorbed into per-cell backoff state rather
 		// than aborting the drain, so the pool error is always nil.
+		//lint:allow ctxflow refit drain is detached background work owned by the manager, not by any ingest request
 		_ = parallel.ForEach(context.Background(), len(batch), m.cfg.RefitWorkers, func(ctx context.Context, i int) error {
 			m.runRefit(ctx, batch[i])
 			return nil

@@ -1,0 +1,34 @@
+package alloccheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint/alloccheck"
+	"repro/internal/lint/linttest"
+)
+
+func TestFlagged(t *testing.T) {
+	linttest.Run(t, alloccheck.Analyzer, "testdata/flag", "example.com/hot")
+}
+
+// TestInterfaceInheritance pins //perf:hotpath inheritance through
+// interface methods: annotating the interface makes the implementation
+// a root and its callees hot.
+func TestInterfaceInheritance(t *testing.T) {
+	linttest.Run(t, alloccheck.Analyzer, "testdata/iface", "example.com/iface")
+}
+
+// TestProvenanceInMessage pins that findings name the root they are
+// reachable from, so a reader can trace why a helper is hot.
+func TestProvenanceInMessage(t *testing.T) {
+	diags, _ := linttest.Findings(t, alloccheck.Analyzer, "testdata/flag", "example.com/hot")
+	if len(diags) == 0 {
+		t.Fatal("expected findings in testdata/flag")
+	}
+	for _, d := range diags {
+		if !strings.Contains(d, "hot.Kernel") {
+			t.Errorf("finding does not carry root provenance: %s", d)
+		}
+	}
+}

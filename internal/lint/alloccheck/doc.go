@@ -1,0 +1,24 @@
+// Package alloccheck is the static zero-allocation gate for the
+// serving hot paths: every function reachable in the cross-package call
+// graph from a //perf:hotpath root (the flattened tree/forest/xgb/knn
+// kernels behind ml.BatchIntoPredictor) is checked for
+// allocation-inducing constructs — fmt calls, string concatenation,
+// un-capped append growth, map/slice literals, make/new, interface
+// boxing of scalars, escaping closures and method values.
+//
+// //perf:pooled functions (sync.Pool acquisition, the bounded worker
+// pool) are exempt and stop hotness propagation: their allocations run
+// only on the cold pool-miss path. Closure literals handed directly to
+// a pooled dispatcher (parallel.ForEach) are likewise accepted — the
+// pool amortizes them, which is what the AllocsPerRun tests' small
+// slack measures.
+//
+// The check is the compile-time twin of the dynamic AllocsPerRun tests
+// (DESIGN.md §9 holds the dynamic contract, §11 this static one): the
+// benchmarks prove the pinned kernels allocation-free today, alloccheck
+// proves no PR adds an allocating construct anywhere in the hot call
+// graph without a reasoned //lint:allow.
+//
+// Findings are suppressed with `//lint:allow alloccheck <reason>` on
+// the finding's line or the line above.
+package alloccheck

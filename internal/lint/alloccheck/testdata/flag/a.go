@@ -1,0 +1,119 @@
+// Package hot exercises alloccheck: allocation-inducing constructs are
+// flagged only inside the //perf:hotpath-reachable set; //perf:pooled
+// functions, closures handed to pooled dispatchers, and
+// capacity-backed appends stay clean; cold functions allocate freely.
+package hot
+
+import "fmt"
+
+// Sink is an interface-typed destination for the boxing case.
+var Sink any
+
+type T struct{ n int }
+
+func (T) M() {}
+
+// Kernel is deliberately allocating: the dynamic AllocsPerRun twin of
+// this suite would measure it nonzero, and alloccheck must agree.
+//
+//perf:hotpath
+func Kernel(xs, out []float64) {
+	transform(xs, out)
+	m := map[string]int{} // want "map literal allocates"
+	_ = m
+	b := make([]byte, 8) // want "make allocates"
+	_ = b
+	fmt.Println(xs) // want "fmt.Println allocates"
+	box(xs[0])
+	_ = concat("a", "b")
+	closures(xs)
+	methodval(T{})
+	_ = escape()
+	_ = fresh()
+	_ = reuse(acquire(), xs)
+	fanout(xs)
+}
+
+// transform is hot by reachability from Kernel.
+func transform(xs, out []float64) {
+	for i, x := range xs {
+		out[i] = x * 2
+	}
+	grow(xs)
+}
+
+func grow(xs []float64) {
+	var dst []float64
+	for _, x := range xs {
+		dst = append(dst, x) // want "un-capped append to dst"
+	}
+	_ = dst
+}
+
+func box(v float64) {
+	Sink = v // want "assignment boxes a scalar"
+}
+
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+func closures(xs []float64) {
+	f := func(i int) float64 { return xs[i] } // want "closure allocates"
+	_ = f(0)
+	func() { _ = xs }() // immediately invoked: no escaping closure value
+}
+
+func methodval(t T) {
+	f := t.M // want "method value t.M allocates"
+	f()
+}
+
+func escape() *T {
+	return &T{n: 1} // want "composite literal escapes"
+}
+
+func fresh() *T {
+	return new(T) // want "new allocates"
+}
+
+// reuse shows the capacity-backed negative: appends into a slice carved
+// from caller-owned backing stay within capacity.
+func reuse(scratch, xs []float64) []float64 {
+	dst := scratch[:0]
+	for _, x := range xs {
+		dst = append(dst, x)
+	}
+	return dst
+}
+
+// acquire stands in for pool acquisition: exempt, and hotness stops
+// here.
+//
+//perf:pooled sync.Pool acquisition; allocates only on pool miss
+func acquire() []float64 {
+	return make([]float64, 64)
+}
+
+// foreach stands in for parallel.ForEach: closures handed to it are
+// amortized by the pool.
+//
+//perf:pooled bounded dispatcher amortizes the closure
+func foreach(n int, f func(int)) {
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+}
+
+func fanout(xs []float64) {
+	foreach(len(xs), func(i int) { xs[i] *= 2 })
+}
+
+// cold is unreachable from any root: allocate freely.
+func cold() []string {
+	out := []string{}
+	out = append(out, fmt.Sprint("x"))
+	return out
+}
+
+var _ = cold

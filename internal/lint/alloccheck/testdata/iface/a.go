@@ -1,0 +1,50 @@
+// Package iface pins //perf:hotpath inheritance through interfaces:
+// annotating the interface method makes every module-internal
+// implementation a hot root, and hotness flows into its callees.
+package iface
+
+// Predictor mirrors ml.BatchIntoPredictor: the annotation lives on the
+// interface method, not on any one implementation.
+type Predictor interface {
+	//perf:hotpath
+	PredictInto(xs, out []float64)
+}
+
+type Linear struct{ w float64 }
+
+func (l *Linear) PredictInto(xs, out []float64) {
+	for i, x := range xs {
+		out[i] = l.w * x
+	}
+	note()
+}
+
+// note is hot only because (*Linear).PredictInto inherited the root
+// annotation from Predictor.
+func note() {
+	s := "a"
+	s += sfx() // want "string += allocates"
+	_ = s
+}
+
+// sfx keeps the concatenation non-constant.
+func sfx() string {
+	var b [1]byte
+	b[0] = 'b'
+	return str(b)
+}
+
+func str(b [1]byte) string {
+	if b[0] == 0 {
+		return ""
+	}
+	return "b"
+}
+
+// Use ties the interface to the implementation the way the serving path
+// does, without being a root itself.
+func Use(p Predictor, xs, out []float64) {
+	p.PredictInto(xs, out)
+}
+
+var _ Predictor = (*Linear)(nil)

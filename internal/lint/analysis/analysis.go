@@ -14,6 +14,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"repro/internal/lint/callgraph"
 )
 
 // Analyzer describes one static check.
@@ -21,10 +23,46 @@ type Analyzer struct {
 	// Name identifies the analyzer in findings, //lint:allow directives,
 	// and the driver's -analyzers flag. It must be a valid identifier.
 	Name string
+	// Version fingerprints the analyzer's logic for the findings cache:
+	// cached findings are keyed on Name@Version, so bumping Version when
+	// the rules change invalidates every stale entry. Editing an
+	// analyzer without bumping it serves stale findings from warm
+	// caches.
+	Version string
 	// Doc is the one-paragraph description printed by varlint -list.
 	Doc string
-	// Run executes the check over one package.
+	// Run executes the check over one package. Exactly one of Run and
+	// RunGraph is set.
 	Run func(*Pass) error
+	// RunGraph executes a whole-program check over every loaded package
+	// plus the cross-package call graph. Graph analyzers cannot be
+	// cached per package (an edit anywhere can change reachability), so
+	// the driver caches their findings under one program-wide key
+	// instead.
+	RunGraph func(*GraphPass) error
+}
+
+// GraphPass carries the whole program through a graph analyzer.
+type GraphPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Pkgs is every analyzed package, in load order.
+	Pkgs []*callgraph.Package
+	// Graph is the program's call graph (hot-path annotations resolved).
+	Graph *callgraph.Graph
+	// Report delivers one finding. Drivers install it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *GraphPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportFix reports a finding that carries a mechanical suggested
+// rewrite, surfaced by `varlint -fix` as a dry-run listing.
+func (p *GraphPass) ReportFix(pos token.Pos, fix, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...), Fix: fix})
 }
 
 // Pass carries one package's type-checked syntax through an Analyzer.
@@ -43,11 +81,20 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+	// Fix, when non-empty, is a mechanical suggested rewrite for the
+	// finding — report-only, printed by `varlint -fix`.
+	Fix string
 }
 
 // Reportf reports a formatted finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportFix reports a finding that carries a mechanical suggested
+// rewrite, surfaced by `varlint -fix` as a dry-run listing.
+func (p *Pass) ReportFix(pos token.Pos, fix, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...), Fix: fix})
 }
 
 // FuncObj resolves the called function object of call, or nil when the

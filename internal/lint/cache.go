@@ -1,47 +1,108 @@
 package lint
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
-	"repro/internal/lint/analysis"
 	"repro/internal/lint/load"
 )
 
-// findingCache persists per-package post-suppression findings keyed by
-// a content hash of the package, its module-internal dependency
-// closure, the analyzer set, and the Go version. A warm cache turns the
-// lint pass for an unchanged package into one JSON read — no parsing,
-// no type-checking — which is what keeps the CI lint shard under a
-// minute (the CI workflow restores the directory across runs).
+// findingCache persists post-suppression findings keyed by content
+// hashes. Per-package analyzer findings are keyed by a hash of the
+// package, its module-internal dependency closure, the analyzer labels
+// (Name@Version), and the Go version; graph analyzer findings are keyed
+// by one program-wide hash over every package. A warm cache turns the
+// lint pass for an unchanged tree into JSON reads — no parsing, no
+// type-checking — which is what keeps the CI lint shard under a minute
+// (the CI workflow restores the directory across runs).
+//
+// The Name@Version labels are load-bearing: editing an analyzer's logic
+// without changing its inputs would otherwise serve stale findings from
+// warm caches. Bumping Version rolls every key.
 //
 // Suppression comments live in the hashed files, so cached findings are
 // exactly what a fresh run would produce. Packages whose directives are
 // malformed are never cached: the error must resurface every run.
 type findingCache struct {
-	dir       string
-	loader    *load.Loader
-	analyzers []*analysis.Analyzer
-	hashes    map[string]string // path -> content hash (memo)
+	dir    string
+	loader *load.Loader
+	labels []string          // analyzer Name@Version labels
+	hashes map[string]string // path -> content hash (memo)
 }
 
-func newFindingCache(dir string, loader *load.Loader, analyzers []*analysis.Analyzer) *findingCache {
-	return &findingCache{dir: dir, loader: loader, analyzers: analyzers, hashes: make(map[string]string)}
+func newFindingCache(dir string, loader *load.Loader, labels []string) *findingCache {
+	return &findingCache{dir: dir, loader: loader, labels: labels, hashes: make(map[string]string)}
 }
 
 // file returns the cache entry path for a package, or "" when hashing
-// failed (unreadable file mid-edit: treat as a miss).
+// failed (unreadable file mid-edit: treat as a miss). The entry key is
+// the package's content hash plus the per-package analyzer labels, so
+// a Version bump rolls exactly this scope's entries.
 func (c *findingCache) file(m *load.Meta) string {
-	h, err := hashPackage(c.loader, m, c.analyzers, c.hashes)
+	ph, err := hashPackage(c.loader, m, c.hashes)
 	if err != nil {
+		return ""
+	}
+	h := sha256.New()
+	_, _ = fmt.Fprintf(h, "scope=pkg\n")
+	for _, label := range c.labels {
+		_, _ = fmt.Fprintf(h, "analyzer=%s\n", label)
+	}
+	_, _ = fmt.Fprintf(h, "pkg=%s\n", ph)
+	return c.path(hex.EncodeToString(h.Sum(nil)))
+}
+
+// path maps a content hash to its entry location.
+func (c *findingCache) path(h string) string {
+	if h == "" {
 		return ""
 	}
 	return filepath.Join(c.dir, h[:2], h[2:]+".json")
 }
 
+// graphKey hashes the whole program plus the graph analyzer labels: the
+// program-wide cache identity for whole-program findings. Empty on any
+// hashing failure (treat as a miss).
+func (c *findingCache) graphKey(metas []*load.Meta, labels []string) string {
+	h := sha256.New()
+	_, _ = fmt.Fprintf(h, "go=%s\nscope=graph\n", runtime.Version())
+	for _, label := range labels {
+		_, _ = fmt.Fprintf(h, "analyzer=%s\n", label)
+	}
+	for _, m := range metas {
+		ph, err := hashPackage(c.loader, m, c.hashes)
+		if err != nil {
+			return ""
+		}
+		_, _ = fmt.Fprintf(h, "pkg=%s hash=%s\n", m.Path, ph)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 func (c *findingCache) get(m *load.Meta) ([]Finding, bool) {
-	path := c.file(m)
+	return c.read(c.file(m))
+}
+
+func (c *findingCache) put(m *load.Meta, fs []Finding) {
+	c.write(c.file(m), fs)
+}
+
+// getKey and putKey address an entry by a precomputed hash (the
+// program-wide graph key).
+func (c *findingCache) getKey(key string) ([]Finding, bool) {
+	return c.read(c.path(key))
+}
+
+func (c *findingCache) putKey(key string, fs []Finding) {
+	c.write(c.path(key), fs)
+}
+
+func (c *findingCache) read(path string) ([]Finding, bool) {
 	if path == "" {
 		return nil, false
 	}
@@ -56,8 +117,7 @@ func (c *findingCache) get(m *load.Meta) ([]Finding, bool) {
 	return fs, true
 }
 
-func (c *findingCache) put(m *load.Meta, fs []Finding) {
-	path := c.file(m)
+func (c *findingCache) write(path string, fs []Finding) {
 	if path == "" {
 		return
 	}

@@ -1,0 +1,631 @@
+// Package callgraph builds a whole-program static call graph over the
+// module's packages so analyzers can reason across package boundaries:
+// which functions are reachable from annotated hot-path roots, which
+// spawn goroutines, which start spans.
+//
+// The graph has one node per function declaration plus one per function
+// literal (closures are first-class: their bodies execute wherever the
+// closure is called, so hotness must flow into them). Edges cover
+//
+//   - static calls (identifier and selector callees),
+//   - interface dispatch: a call through an interface method adds edges
+//     to every module-internal concrete method that implements it,
+//   - function values: referencing a function without calling it
+//     (method values, callbacks passed as arguments) adds a may-call
+//     edge, since the referenced function can run wherever the value
+//     flows,
+//   - closures: an enclosing function gets an edge into each literal it
+//     defines.
+//
+// Two source annotations drive the hot-path queries:
+//
+//	//perf:hotpath — on a func/method declaration or an interface
+//	    method: this function (or, for interfaces, every module-internal
+//	    implementation) is a serving hot-path root.
+//	//perf:pooled — this function amortizes allocation through a pool
+//	    (sync.Pool acquisition, bounded-worker machinery). It stays in
+//	    the hot set but is exempt from allocation checks and does not
+//	    propagate hotness into its callees: its allocations happen only
+//	    on the cold (pool-miss) path.
+//
+// The engine is deliberately conservative: it over-approximates the
+// call relation (function values may never be called; interface
+// dispatch lists every implementer) because the analyzers built on top
+// enforce "must hold everywhere it could run" contracts.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package handed to Build. It mirrors the
+// loader's view (production files only, no tests).
+type Package struct {
+	Path  string // import path
+	Dir   string // directory on disk
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// EdgeKind classifies how control can flow from one node to another.
+type EdgeKind int
+
+const (
+	// EdgeCall is a direct static call.
+	EdgeCall EdgeKind = iota
+	// EdgeDispatch is a call through an interface method, resolved to a
+	// concrete implementation.
+	EdgeDispatch
+	// EdgeRef is a function value reference: the target may be called
+	// wherever the value flows.
+	EdgeRef
+	// EdgeClosure links a function to a literal it defines.
+	EdgeClosure
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeCall:
+		return "call"
+	case EdgeDispatch:
+		return "dispatch"
+	case EdgeRef:
+		return "ref"
+	case EdgeClosure:
+		return "closure"
+	}
+	return "?"
+}
+
+// Edge is one directed may-call edge.
+type Edge struct {
+	From, To int
+	Pos      token.Pos
+	Kind     EdgeKind
+}
+
+// Node is one function in the graph: a declaration or a literal.
+type Node struct {
+	ID   int
+	Name string      // qualified display name; closures get parent.func#N
+	Func *types.Func // nil for closures
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	Pkg  *Package
+
+	// HotRoot marks a //perf:hotpath annotation, direct or inherited
+	// from an annotated interface method; RootVia says which.
+	HotRoot bool
+	RootVia string
+	// Pooled marks a //perf:pooled annotation.
+	Pooled bool
+	// PooledReason is the rest of the annotation line, kept for reports.
+	PooledReason string
+}
+
+// Body returns the node's statement block (declaration body or literal
+// body); nil for bodyless declarations (assembly stubs, externs).
+func (n *Node) Body() *ast.BlockStmt {
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return nil
+}
+
+// Pos returns the declaration position.
+func (n *Node) Pos() token.Pos {
+	if n.Lit != nil {
+		return n.Lit.Pos()
+	}
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	return token.NoPos
+}
+
+// Graph is the whole-program call graph.
+type Graph struct {
+	Fset  *token.FileSet
+	Pkgs  []*Package
+	Nodes []*Node
+
+	out    [][]Edge
+	byFunc map[*types.Func]int
+	byLit  map[*ast.FuncLit]int
+
+	// callees marks identifiers consumed as a call's callee, so the
+	// reference pass does not double-edge them. Filled before the
+	// identifier is visited: ast.Inspect is pre-order, parents first.
+	callees map[*ast.Ident]bool
+
+	// ifaceMethods lists every annotated interface method (hot roots
+	// propagate to implementations).
+	ifaceHot []*types.Func
+
+	// implMemo caches interface-method -> implementing-node resolution.
+	implMemo map[*types.Func][]int
+
+	hot       map[int]int // node -> BFS predecessor (-1 for roots)
+	hotSorted []*Node
+}
+
+const (
+	hotpathDirective = "//perf:hotpath"
+	pooledDirective  = "//perf:pooled"
+)
+
+// Build constructs the graph for pkgs. The packages must share fset and
+// be fully type-checked.
+func Build(fset *token.FileSet, pkgs []*Package) *Graph {
+	g := &Graph{
+		Fset:     fset,
+		Pkgs:     pkgs,
+		byFunc:   make(map[*types.Func]int),
+		byLit:    make(map[*ast.FuncLit]int),
+		callees:  make(map[*ast.Ident]bool),
+		implMemo: make(map[*types.Func][]int),
+	}
+	// Pass 1: declaration nodes and annotations.
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				switch d := d.(type) {
+				case *ast.FuncDecl:
+					g.addDecl(p, d)
+				case *ast.GenDecl:
+					g.scanInterfaceAnnotations(p, d)
+				}
+			}
+		}
+	}
+	// Pass 2: edges (and closure nodes, created as they are found).
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				g.walkBody(g.byFunc[obj], p, fd.Body)
+			}
+		}
+	}
+	// Annotated interface methods make every implementation a root.
+	for _, im := range g.ifaceHot {
+		for _, id := range g.implementers(im) {
+			n := g.Nodes[id]
+			if !n.HotRoot {
+				n.HotRoot = true
+				n.RootVia = "implements " + qualifiedName(im)
+			}
+		}
+	}
+	g.computeHot()
+	return g
+}
+
+func (g *Graph) addDecl(p *Package, fd *ast.FuncDecl) {
+	obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return
+	}
+	n := &Node{
+		ID:   len(g.Nodes),
+		Name: qualifiedName(obj),
+		Func: obj,
+		Decl: fd,
+		Pkg:  p,
+	}
+	if dir, rest := directive(fd.Doc, hotpathDirective); dir {
+		n.HotRoot = true
+		n.RootVia = "annotated"
+		_ = rest
+	}
+	if dir, rest := directive(fd.Doc, pooledDirective); dir {
+		n.Pooled = true
+		n.PooledReason = rest
+	}
+	g.Nodes = append(g.Nodes, n)
+	g.out = append(g.out, nil)
+	g.byFunc[obj] = n.ID
+}
+
+// scanInterfaceAnnotations records //perf:hotpath annotations on
+// interface method declarations: every module-internal implementation
+// of an annotated method becomes a hot root.
+func (g *Graph) scanInterfaceAnnotations(p *Package, gd *ast.GenDecl) {
+	if gd.Tok != token.TYPE {
+		return
+	}
+	for _, spec := range gd.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		it, ok := ts.Type.(*ast.InterfaceType)
+		if !ok || it.Methods == nil {
+			continue
+		}
+		for _, field := range it.Methods.List {
+			if len(field.Names) == 0 {
+				continue // embedded interface
+			}
+			hot, _ := directive(field.Doc, hotpathDirective)
+			if !hot {
+				continue
+			}
+			for _, name := range field.Names {
+				if m, ok := p.Info.Defs[name].(*types.Func); ok {
+					g.ifaceHot = append(g.ifaceHot, m)
+				}
+			}
+		}
+	}
+}
+
+// directive reports whether the comment group carries the given
+// //perf: directive and returns the rest of that line (the reason).
+func directive(doc *ast.CommentGroup, name string) (bool, string) {
+	if doc == nil {
+		return false, ""
+	}
+	for _, c := range doc.List {
+		if c.Text == name || strings.HasPrefix(c.Text, name+" ") {
+			return true, strings.TrimSpace(strings.TrimPrefix(c.Text, name))
+		}
+	}
+	return false, ""
+}
+
+// closureNode creates (or returns) the node for a literal.
+func (g *Graph) closureNode(parent int, p *Package, lit *ast.FuncLit) int {
+	if id, ok := g.byLit[lit]; ok {
+		return id
+	}
+	n := &Node{
+		ID:   len(g.Nodes),
+		Name: fmt.Sprintf("%s.func#%d", g.Nodes[parent].Name, len(g.out[parent])+1),
+		Lit:  lit,
+		Pkg:  p,
+	}
+	g.Nodes = append(g.Nodes, n)
+	g.out = append(g.out, nil)
+	g.byLit[lit] = n.ID
+	return n.ID
+}
+
+func (g *Graph) addEdge(from, to int, pos token.Pos, kind EdgeKind) {
+	g.out[from] = append(g.out[from], Edge{From: from, To: to, Pos: pos, Kind: kind})
+}
+
+// walkBody attributes every call, reference, and literal under body to
+// node `from`, descending into literals with the literal's own node as
+// the new owner.
+func (g *Graph) walkBody(from int, p *Package, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			id := g.closureNode(from, p, n)
+			g.addEdge(from, id, n.Pos(), EdgeClosure)
+			g.walkBody(id, p, n.Body)
+			return false // the literal's body belongs to its own node
+		case *ast.CallExpr:
+			g.edgeForCall(from, p, n)
+			// Arguments (which may reference functions) are visited by
+			// the ongoing inspection; the callee expression is marked
+			// handled via callFunIdent below.
+		case *ast.Ident:
+			g.edgeForRef(from, p, n)
+		}
+		return true
+	})
+}
+
+// callIdent returns the identifier a call resolves through, or nil.
+func callIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	}
+	return nil
+}
+
+// edgeForCall adds the edge(s) for one call expression.
+func (g *Graph) edgeForCall(from int, p *Package, call *ast.CallExpr) {
+	id := callIdent(call)
+	if id == nil {
+		return // computed callee: any target it may hold was edged at its reference site
+	}
+	g.callees[id] = true
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	if fn == nil {
+		return // builtin, conversion, or func-typed variable
+	}
+	fn = origin(fn)
+	if recv := recvOf(fn); recv != nil && types.IsInterface(recv.Type()) {
+		for _, impl := range g.implementers(fn) {
+			g.addEdge(from, impl, call.Pos(), EdgeDispatch)
+		}
+		return
+	}
+	if to, ok := g.byFunc[fn]; ok {
+		g.addEdge(from, to, call.Pos(), EdgeCall)
+	}
+}
+
+// edgeForRef adds a may-call edge when ident references a function as a
+// value (not as the callee of an enclosing call — those are handled by
+// edgeForCall; a duplicate edge is harmless but noisy, so calls mark
+// their identifier via position comparison).
+func (g *Graph) edgeForRef(from int, p *Package, ident *ast.Ident) {
+	if g.callees[ident] {
+		return // the callee of a call: edgeForCall owns it
+	}
+	fn, _ := p.Info.Uses[ident].(*types.Func)
+	if fn == nil {
+		return
+	}
+	fn = origin(fn)
+	if recv := recvOf(fn); recv != nil && types.IsInterface(recv.Type()) {
+		for _, impl := range g.implementers(fn) {
+			g.addEdge(from, impl, ident.Pos(), EdgeDispatch)
+		}
+		return
+	}
+	if to, ok := g.byFunc[fn]; ok {
+		g.addEdge(from, to, ident.Pos(), EdgeRef)
+	}
+}
+
+// recvOf returns fn's receiver variable, nil for package-level funcs.
+func recvOf(fn *types.Func) *types.Var {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	return sig.Recv()
+}
+
+func origin(fn *types.Func) *types.Func {
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}
+
+// implementers resolves an interface method to the module-internal
+// concrete methods that implement it, memoized.
+func (g *Graph) implementers(im *types.Func) []int {
+	if ids, ok := g.implMemo[im]; ok {
+		return ids
+	}
+	var ids []int
+	recv := recvOf(im)
+	if recv == nil {
+		g.implMemo[im] = nil
+		return nil
+	}
+	iface, _ := recv.Type().Underlying().(*types.Interface)
+	if iface == nil {
+		g.implMemo[im] = nil
+		return nil
+	}
+	for _, p := range g.Pkgs {
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			for _, t := range []types.Type{named, types.NewPointer(named)} {
+				if !types.Implements(t, iface) {
+					continue
+				}
+				obj, _, _ := types.LookupFieldOrMethod(t, true, im.Pkg(), im.Name())
+				if m, ok := obj.(*types.Func); ok {
+					if id, ok := g.byFunc[origin(m)]; ok {
+						ids = append(ids, id)
+					}
+				}
+				break // pointer set ⊇ value set; one resolution is enough
+			}
+		}
+	}
+	sort.Ints(ids)
+	ids = dedupInts(ids)
+	g.implMemo[im] = ids
+	return ids
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// computeHot runs the reachability BFS from the annotated roots.
+// Pooled nodes join the hot set but are not expanded: their
+// allocations (and their callees') run only on the cold pool-miss
+// path.
+func (g *Graph) computeHot() {
+	g.hot = make(map[int]int)
+	var queue []int
+	for _, n := range g.Nodes {
+		if n.HotRoot {
+			g.hot[n.ID] = -1
+			queue = append(queue, n.ID)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		if g.Nodes[id].Pooled {
+			continue
+		}
+		for _, e := range g.out[id] {
+			if _, seen := g.hot[e.To]; seen {
+				continue
+			}
+			g.hot[e.To] = id
+			queue = append(queue, e.To)
+		}
+	}
+	g.hotSorted = nil
+	for id := range g.hot {
+		g.hotSorted = append(g.hotSorted, g.Nodes[id])
+	}
+	sort.Slice(g.hotSorted, func(i, j int) bool { return g.hotSorted[i].Name < g.hotSorted[j].Name })
+}
+
+// NodeOf returns the node for fn, or nil.
+func (g *Graph) NodeOf(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	if id, ok := g.byFunc[origin(fn)]; ok {
+		return g.Nodes[id]
+	}
+	return nil
+}
+
+// LitNode returns the node for a function literal, or nil.
+func (g *Graph) LitNode(lit *ast.FuncLit) *Node {
+	if id, ok := g.byLit[lit]; ok {
+		return g.Nodes[id]
+	}
+	return nil
+}
+
+// DeclOf returns the syntax and package of fn's declaration inside the
+// module, or nil when fn is external or bodyless.
+func (g *Graph) DeclOf(fn *types.Func) (*ast.FuncDecl, *Package) {
+	n := g.NodeOf(fn)
+	if n == nil {
+		return nil, nil
+	}
+	return n.Decl, n.Pkg
+}
+
+// Out returns the node's outgoing edges.
+func (g *Graph) Out(id int) []Edge { return g.out[id] }
+
+// Roots returns the annotated hot-path roots, sorted by name.
+func (g *Graph) Roots() []*Node {
+	var roots []*Node
+	for _, n := range g.Nodes {
+		if n.HotRoot {
+			roots = append(roots, n)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Name < roots[j].Name })
+	return roots
+}
+
+// Hot reports whether n is in the hot set (reachable from a root).
+func (g *Graph) Hot(n *Node) bool {
+	if n == nil {
+		return false
+	}
+	_, ok := g.hot[n.ID]
+	return ok
+}
+
+// HotSet returns every node reachable from a //perf:hotpath root
+// (including pooled frontier nodes), sorted by name.
+func (g *Graph) HotSet() []*Node { return g.hotSorted }
+
+// HotChain returns the provenance path root -> ... -> n that put n in
+// the hot set, or nil when n is not hot.
+func (g *Graph) HotChain(n *Node) []*Node {
+	if n == nil {
+		return nil
+	}
+	if _, ok := g.hot[n.ID]; !ok {
+		return nil
+	}
+	var rev []*Node
+	for id := n.ID; id != -1; id = g.hot[id] {
+		rev = append(rev, g.Nodes[id])
+	}
+	out := make([]*Node, len(rev))
+	for i, x := range rev {
+		out[len(rev)-1-i] = x
+	}
+	return out
+}
+
+// Reachable returns the set of nodes reachable from the given node IDs
+// (following every edge kind, not stopping at pooled nodes). It backs
+// ad-hoc queries and tests; the hot set uses the pooled-aware BFS.
+func (g *Graph) Reachable(roots ...int) map[int]bool {
+	seen := make(map[int]bool)
+	queue := append([]int(nil), roots...)
+	for _, r := range roots {
+		seen[r] = true
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, e := range g.out[id] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// qualifiedName renders pkgpath.Func or pkgpath.(*Recv).Method.
+func qualifiedName(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if recv := recvOf(fn); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			if named, ok := p.Elem().(*types.Named); ok {
+				return fmt.Sprintf("%s.(*%s).%s", pkg, named.Obj().Name(), fn.Name())
+			}
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("%s.%s.%s", pkg, named.Obj().Name(), fn.Name())
+		}
+		if types.IsInterface(t) {
+			return fmt.Sprintf("%s.%s.%s", pkg, interfaceName(t), fn.Name())
+		}
+		return fmt.Sprintf("%s.%s.%s", pkg, t.String(), fn.Name())
+	}
+	return pkg + "." + fn.Name()
+}
+
+func interfaceName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

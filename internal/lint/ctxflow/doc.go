@@ -1,0 +1,20 @@
+// Package ctxflow enforces the context-propagation discipline:
+//
+//   - context.Context is the first parameter of any signature that
+//     carries one;
+//   - context.Background() / context.TODO() appear only in package
+//     main (process entry points own the root context) — library code
+//     accepts and propagates a caller's ctx, or justifies a detached
+//     lifetime with //lint:allow;
+//   - a caller with a ctx in scope never re-roots a context-aware
+//     callee with Background/TODO;
+//   - callees that transitively start obs spans (resolved through the
+//     call graph) but take no context are flagged: their traces are
+//     orphaned from the caller's tree;
+//   - ambient time.Sleep is forbidden outside internal/randx — blocking
+//     sleeps go through the injectable randx.Clock so tests and the
+//     deterministic simulations control time.
+//
+// Findings are suppressed with `//lint:allow ctxflow <reason>` on the
+// finding's line or the line above.
+package ctxflow

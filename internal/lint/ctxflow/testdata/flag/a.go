@@ -1,0 +1,68 @@
+// Package flow exercises ctxflow: misplaced context parameters,
+// re-rooted context trees, ambient sleeps, and spanning callees that
+// cannot receive the caller's context.
+package flow
+
+import (
+	"context"
+	"time"
+)
+
+func backgroundUser() {
+	ctx := context.Background() // want "context.Background outside package main"
+	_ = ctx
+}
+
+func notFirst(name string, ctx context.Context) { // want "context.Context must be the first parameter of notFirst"
+	_ = name
+	_ = ctx
+}
+
+func sleepy() {
+	time.Sleep(time.Second) // want "ambient time.Sleep"
+}
+
+func reroot(ctx context.Context) {
+	use(context.TODO()) // want "context.TODO outside package main" "re-roots use with context.TODO"
+}
+
+func use(ctx context.Context) { _ = ctx }
+
+// Span machinery: the linttest suite points SpanPackagePath at this
+// package so Start anchors the spanning set.
+type Span struct{}
+
+func (Span) End() {}
+
+func Start(ctx context.Context, name string) (context.Context, Span) {
+	_ = name
+	return ctx, Span{}
+}
+
+// startsSpan transitively starts spans but takes no context: its traces
+// are orphaned from any caller's tree.
+func startsSpan() {
+	_, s := Start(context.Background(), "op") // want "context.Background outside package main"
+	s.End()
+}
+
+func caller(ctx context.Context) {
+	_ = ctx
+	startsSpan() // want "startsSpan starts spans but takes no context"
+}
+
+// propagates is the clean shape: ctx first, handed straight through.
+func propagates(ctx context.Context, name string) {
+	ctx2, s := Start(ctx, name)
+	defer s.End()
+	use(ctx2)
+}
+
+var (
+	_ = backgroundUser
+	_ = notFirst
+	_ = sleepy
+	_ = reroot
+	_ = caller
+	_ = propagates
+)

@@ -1,0 +1,12 @@
+// Command mainpkg pins the package-main exemption: process entry
+// points own the root context, so Background is legal here.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	run(ctx)
+}
+
+func run(ctx context.Context) { _ = ctx }

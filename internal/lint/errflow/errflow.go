@@ -1,6 +1,7 @@
 package errflow
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -14,7 +15,8 @@ import (
 // should wrap with %w, and no == comparison against error sentinels
 // that errors.Is must see through wrapped chains.
 var Analyzer = &analysis.Analyzer{
-	Name: "errflow",
+	Name:    "errflow",
+	Version: "v2",
 	Doc: "flag dropped error returns, fmt.Errorf calls that carry an error argument " +
 		"without a %w verb (breaking errors.Is on sentinel paths like " +
 		"ErrBenchmarkQuarantined), and == / != comparisons between errors that bypass " +
@@ -145,9 +147,30 @@ func checkErrorfWrap(pass *analysis.Pass, call *ast.CallExpr) {
 		if t == nil || !analysis.ImplementsError(t) {
 			continue
 		}
-		pass.Reportf(call.Pos(), "fmt.Errorf carries error %s without %%w: the chain is cut and errors.Is/As cannot see through it", types.ExprString(ast.Unparen(arg)))
+		argName := types.ExprString(ast.Unparen(arg))
+		if fixed, ok := rewriteLastVerb(format); ok {
+			pass.ReportFix(call.Pos(), fmt.Sprintf("change the format string to %s so %s stays visible to errors.Is/As", fixed, argName),
+				"fmt.Errorf carries error %s without %%w: the chain is cut and errors.Is/As cannot see through it", argName)
+		} else {
+			pass.Reportf(call.Pos(), "fmt.Errorf carries error %s without %%w: the chain is cut and errors.Is/As cannot see through it", argName)
+		}
 		return
 	}
+}
+
+// rewriteLastVerb rewrites the final %v or %s in a quoted format string
+// to %w — the mechanical fix for the common trailing-error shape. Other
+// shapes (the error formatted mid-string among several verbs) get no
+// suggestion: rewriting them safely needs verb-to-argument matching.
+func rewriteLastVerb(format string) (string, bool) {
+	idx := strings.LastIndex(format, "%v")
+	if i := strings.LastIndex(format, "%s"); i > idx {
+		idx = i
+	}
+	if idx < 0 {
+		return "", false
+	}
+	return format[:idx] + "%w" + format[idx+2:], true
 }
 
 // isMethodSpans returns the body spans of `Is(error) bool` methods in

@@ -1,0 +1,68 @@
+// Package worker exercises goroutinecheck outside server paths: raw
+// goroutines must show a lifecycle bound — WaitGroup join, ctx.Done()
+// bound, or a channel join handle — whether spawned as a literal or as
+// a named function resolved through the call graph.
+package worker
+
+import (
+	"context"
+	"sync"
+)
+
+func unbound() {
+	go func() { // want "raw goroutine without a visible lifecycle bound"
+		println("work")
+	}()
+}
+
+func joined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		println("work")
+	}()
+	wg.Wait()
+}
+
+func ctxBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func handle() <-chan error {
+	done := make(chan error, 1)
+	go func() {
+		done <- nil
+	}()
+	return done
+}
+
+// dispatch spawns a named function: the callee's body decides, via the
+// call graph, whether the spawn is bound.
+func dispatch() {
+	go loop() // want "raw goroutine without a visible lifecycle bound"
+}
+
+func loop() {
+	for {
+		println("tick")
+	}
+}
+
+func dispatchBound(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) {
+	<-ctx.Done()
+}
+
+var (
+	_ = unbound
+	_ = joined
+	_ = ctxBound
+	_ = handle
+	_ = dispatch
+	_ = dispatchBound
+)

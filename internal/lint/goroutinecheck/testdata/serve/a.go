@@ -1,6 +1,6 @@
 // In a package whose import path matches ServerPathPattern, raw `go`
-// statements are forbidden: request-path concurrency must go through
-// the bounded pool.
+// statements are forbidden outright — even lifecycle-bound ones:
+// request-path concurrency must go through the bounded pool.
 package serve
 
 func spawn(done chan struct{}) {
@@ -8,3 +8,5 @@ func spawn(done chan struct{}) {
 		done <- struct{}{}
 	}()
 }
+
+var _ = spawn

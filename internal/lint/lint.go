@@ -5,8 +5,16 @@
 // The suite machine-checks the invariants this repository's results
 // rest on — bit-reproducible randomness and clocks (nondeterminism),
 // NaN-free numerics (floatcheck), wrapped error chains (errflow),
-// copy-free, branch-safe locking plus pooled goroutines (lockcheck),
-// and atomic-only file replacement (pathpolicy).
+// copy-free, branch-safe locking (lockcheck), and atomic-only file
+// replacement (pathpolicy) — plus three whole-program checks built on
+// the cross-package call graph: static zero-allocation discipline on
+// //perf:hotpath-reachable code (alloccheck), context propagation
+// (ctxflow), and goroutine lifecycle binding (goroutinecheck).
+//
+// Per-package analyzers run (and cache) package by package; graph
+// analyzers run once over the whole program after every package is
+// type-checked, and their findings cache under one program-wide key
+// (an edit anywhere can change reachability).
 // See README "Static analysis" for the policy and cmd/varlint for the
 // CLI.
 package lint
@@ -14,6 +22,7 @@ package lint
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -22,9 +31,13 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/lint/alloccheck"
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+	"repro/internal/lint/ctxflow"
 	"repro/internal/lint/errflow"
 	"repro/internal/lint/floatcheck"
+	"repro/internal/lint/goroutinecheck"
 	"repro/internal/lint/load"
 	"repro/internal/lint/lockcheck"
 	"repro/internal/lint/nondeterminism"
@@ -39,6 +52,9 @@ func Suite() []*analysis.Analyzer {
 		errflow.Analyzer,
 		lockcheck.Analyzer,
 		pathpolicy.Analyzer,
+		alloccheck.Analyzer,
+		ctxflow.Analyzer,
+		goroutinecheck.Analyzer,
 	}
 }
 
@@ -52,24 +68,37 @@ type Config struct {
 	// empty baseline. Entries match findings by package, analyzer, and
 	// message (not line numbers, so unrelated edits do not churn it).
 	Baseline string
-	// CacheDir, when non-empty, caches per-package post-suppression
-	// findings keyed by the content hash of the package and its
-	// module-internal dependencies, so unchanged packages skip parsing
-	// and type-checking entirely.
+	// CacheDir, when non-empty, caches post-suppression findings:
+	// per-package analyzers under a content hash of the package and its
+	// module-internal dependencies, graph analyzers under one
+	// program-wide hash. Keys include each analyzer's Name@Version, so
+	// bumping an analyzer's Version invalidates its stale entries.
 	CacheDir string
 	// WriteBaseline rewrites Baseline with the current findings instead
 	// of failing on them.
 	WriteBaseline bool
+	// Format selects the rendering: "text" (default), "json" (the
+	// Finding array), or "github" (GitHub Actions workflow commands, one
+	// ::error per finding).
+	Format string
+	// Fix, in text format, prints the mechanical suggested rewrite under
+	// each finding that carries one — a dry-run listing; nothing is
+	// applied.
+	Fix bool
 }
 
 // Finding is one rendered diagnostic.
 type Finding struct {
 	Pkg      string `json:"pkg"`
 	File     string `json:"file"` // path relative to the package dir
+	Path     string `json:"path"` // path relative to the module root
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
+	// Fix is a mechanical suggested rewrite, when the analyzer offers
+	// one (report-only; printed by varlint -fix).
+	Fix string `json:"fix,omitempty"`
 }
 
 // key is the baseline identity of a finding: stable across line-number
@@ -78,6 +107,29 @@ func (f Finding) key() string { return f.Pkg + " :: " + f.Analyzer + " :: " + f.
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s/%s:%d:%d: %s: %s", f.Pkg, f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// splitSuite partitions analyzers into per-package and whole-program
+// sets.
+func splitSuite(analyzers []*analysis.Analyzer) (perPkg, graph []*analysis.Analyzer) {
+	for _, a := range analyzers {
+		if a.RunGraph != nil {
+			graph = append(graph, a)
+		} else {
+			perPkg = append(perPkg, a)
+		}
+	}
+	return perPkg, graph
+}
+
+// analyzerLabels renders the cache identity of an analyzer set:
+// Name@Version per analyzer, in suite order.
+func analyzerLabels(analyzers []*analysis.Analyzer) []string {
+	labels := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		labels[i] = a.Name + "@" + a.Version
+	}
+	return labels
 }
 
 // Run executes the suite over the packages matching patterns, printing
@@ -89,28 +141,35 @@ func Run(w io.Writer, patterns []string, cfg Config) (int, error) {
 	if len(analyzers) == 0 {
 		analyzers = Suite()
 	}
+	perPkg, graph := splitSuite(analyzers)
 	loader, err := load.New(cfg.Dir, patterns...)
 	if err != nil {
 		return 0, err
 	}
+	root := moduleRoot(cfg.Dir)
 	var cache *findingCache
 	if cfg.CacheDir != "" {
-		cache = newFindingCache(cfg.CacheDir, loader, analyzers)
+		cache = newFindingCache(cfg.CacheDir, loader, analyzerLabels(perPkg))
 	}
 
-	var all []Finding
-	var directiveErrs []string
+	var metas []*load.Meta
 	for _, m := range loader.Metas() {
 		if strings.Contains(m.Path, "/lint/") && strings.Contains(m.Dir, "testdata") {
 			continue
 		}
+		metas = append(metas, m)
+	}
+
+	var all []Finding
+	var directiveErrs []string
+	for _, m := range metas {
 		if cache != nil {
 			if fs, ok := cache.get(m); ok {
 				all = append(all, fs...)
 				continue
 			}
 		}
-		fs, derrs, err := analyzePackage(loader, m, analyzers)
+		fs, derrs, err := analyzePackage(loader, m, perPkg, root)
 		if err != nil {
 			return 0, err
 		}
@@ -122,6 +181,14 @@ func Run(w io.Writer, patterns []string, cfg Config) (int, error) {
 	}
 	if len(directiveErrs) > 0 {
 		return 0, fmt.Errorf("malformed //lint:allow directives (a reason is mandatory):\n  %s", strings.Join(directiveErrs, "\n  "))
+	}
+
+	if len(graph) > 0 {
+		fs, err := runGraphAnalyzers(loader, metas, graph, cache, root)
+		if err != nil {
+			return 0, err
+		}
+		all = append(all, fs...)
 	}
 
 	sort.Slice(all, func(i, j int) bool {
@@ -158,16 +225,74 @@ func Run(w io.Writer, patterns []string, cfg Config) (int, error) {
 		}
 		kept = append(kept, f)
 	}
-	for _, f := range kept {
-		_, _ = fmt.Fprintln(w, f.String())
+	if err := render(w, kept, cfg); err != nil {
+		return 0, err
 	}
 	return len(kept), nil
 }
 
-// analyzePackage type-checks one package and runs every analyzer,
-// returning post-suppression findings plus any malformed-directive
-// errors.
-func analyzePackage(loader *load.Loader, m *load.Meta, analyzers []*analysis.Analyzer) ([]Finding, []string, error) {
+// render writes the kept findings in the configured format.
+func render(w io.Writer, kept []Finding, cfg Config) error {
+	switch cfg.Format {
+	case "", "text":
+		fixes := 0
+		for _, f := range kept {
+			_, _ = fmt.Fprintln(w, f.String())
+			if cfg.Fix && f.Fix != "" {
+				_, _ = fmt.Fprintf(w, "    fix (dry run): %s\n", f.Fix)
+				fixes++
+			}
+		}
+		if cfg.Fix {
+			_, _ = fmt.Fprintf(w, "varlint: %d finding(s) carry a mechanical fix (dry run; nothing applied)\n", fixes)
+		}
+	case "json":
+		if kept == nil {
+			kept = []Finding{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(kept)
+	case "github":
+		for _, f := range kept {
+			_, _ = fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=varlint/%s::%s\n",
+				githubEscapeProp(f.Path), f.Line, f.Col, githubEscapeProp(f.Analyzer), githubEscapeData(f.Message))
+		}
+	default:
+		return fmt.Errorf("lint: unknown format %q (want text, json, or github)", cfg.Format)
+	}
+	return nil
+}
+
+// githubEscapeData escapes a workflow-command message value.
+func githubEscapeData(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
+}
+
+// githubEscapeProp escapes a workflow-command property value.
+func githubEscapeProp(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
+	return r.Replace(s)
+}
+
+// moduleRoot resolves cfg.Dir to an absolute module root for
+// module-relative finding paths.
+func moduleRoot(dir string) string {
+	if dir == "" {
+		dir = "."
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	return abs
+}
+
+// analyzePackage type-checks one package and runs every per-package
+// analyzer, returning post-suppression findings plus any
+// malformed-directive errors.
+func analyzePackage(loader *load.Loader, m *load.Meta, analyzers []*analysis.Analyzer, root string) ([]Finding, []string, error) {
 	pkg, err := loader.Check(m.Path)
 	if err != nil {
 		return nil, nil, err
@@ -187,6 +312,12 @@ func analyzePackage(loader *load.Loader, m *load.Meta, analyzers []*analysis.Ana
 		}
 	}
 	kept, derrs := FilterSuppressed(loader.Fset, pkg.Files, diags)
+	return findingsFrom(loader, m, kept, root), derrs, nil
+}
+
+// findingsFrom converts post-suppression diagnostics into Findings
+// anchored to package m.
+func findingsFrom(loader *load.Loader, m *load.Meta, kept []analysis.Diagnostic, root string) []Finding {
 	var out []Finding
 	for _, d := range kept {
 		pos := loader.Fset.Position(d.Pos)
@@ -194,31 +325,134 @@ func analyzePackage(loader *load.Loader, m *load.Meta, analyzers []*analysis.Ana
 		if err != nil {
 			file = filepath.Base(pos.Filename)
 		}
+		path, err := filepath.Rel(root, pos.Filename)
+		if err != nil {
+			path = file
+		}
 		out = append(out, Finding{
 			Pkg:      m.Path,
 			File:     file,
+			Path:     filepath.ToSlash(path),
 			Line:     pos.Line,
 			Col:      pos.Column,
 			Analyzer: d.Analyzer,
 			Message:  d.Message,
+			Fix:      d.Fix,
 		})
 	}
-	return out, derrs, nil
+	return out
 }
 
-// hashPackage computes the cache identity of a package: its own file
-// contents plus the recursive hash of every module-internal import,
-// the analyzer names, and the Go version.
-func hashPackage(loader *load.Loader, m *load.Meta, analyzers []*analysis.Analyzer, memo map[string]string) (string, error) {
+// runGraphAnalyzers type-checks every package, builds the program call
+// graph, and runs the whole-program analyzers. Findings are attributed
+// to packages by position and suppressed with each package's own
+// directives; the cache entry (when enabled) is program-wide.
+func runGraphAnalyzers(loader *load.Loader, metas []*load.Meta, graph []*analysis.Analyzer, cache *findingCache, root string) ([]Finding, error) {
+	var key string
+	if cache != nil {
+		key = cache.graphKey(metas, analyzerLabels(graph))
+		if fs, ok := cache.getKey(key); ok {
+			return fs, nil
+		}
+	}
+	pkgs, byPath, err := checkAll(loader, metas)
+	if err != nil {
+		return nil, err
+	}
+	g := callgraph.Build(loader.Fset, pkgs)
+	fileOwner := make(map[string]*load.Meta)
+	for _, m := range metas {
+		for _, name := range m.GoFiles {
+			fileOwner[filepath.Join(m.Dir, name)] = m
+		}
+	}
+	perPkgDiags := make(map[string][]analysis.Diagnostic)
+	for _, a := range graph {
+		gp := &analysis.GraphPass{
+			Analyzer: a,
+			Fset:     loader.Fset,
+			Pkgs:     pkgs,
+			Graph:    g,
+			Report: func(d analysis.Diagnostic) {
+				pos := loader.Fset.Position(d.Pos)
+				if m := fileOwner[pos.Filename]; m != nil {
+					perPkgDiags[m.Path] = append(perPkgDiags[m.Path], d)
+				}
+			},
+		}
+		if err := a.RunGraph(gp); err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", a.Name, err)
+		}
+	}
+	var out []Finding
+	for _, m := range metas {
+		diags := perPkgDiags[m.Path]
+		if len(diags) == 0 {
+			continue
+		}
+		// Malformed directives are ignored here: the per-package phase
+		// already surfaced them for every non-cached package, and cache
+		// entries are only written for clean ones.
+		kept, _ := FilterSuppressed(loader.Fset, byPath[m.Path].Files, diags)
+		out = append(out, findingsFrom(loader, m, kept, root)...)
+	}
+	if cache != nil {
+		cache.putKey(key, out)
+	}
+	return out, nil
+}
+
+// checkAll type-checks every package and wraps the results for the call
+// graph builder.
+func checkAll(loader *load.Loader, metas []*load.Meta) ([]*callgraph.Package, map[string]*load.Package, error) {
+	pkgs := make([]*callgraph.Package, 0, len(metas))
+	byPath := make(map[string]*load.Package, len(metas))
+	for _, m := range metas {
+		pkg, err := loader.Check(m.Path)
+		if err != nil {
+			return nil, nil, err
+		}
+		byPath[m.Path] = pkg
+		pkgs = append(pkgs, &callgraph.Package{Path: m.Path, Dir: m.Dir, Files: pkg.Files, Types: pkg.Types, Info: pkg.Info})
+	}
+	return pkgs, byPath, nil
+}
+
+// HotReport loads the module, builds the call graph, and writes the
+// hot-path reachability report (roots, the reachable hot set, pooled
+// boundaries, and one provenance chain per function).
+func HotReport(w io.Writer, patterns []string, cfg Config) error {
+	loader, err := load.New(cfg.Dir, patterns...)
+	if err != nil {
+		return err
+	}
+	var metas []*load.Meta
+	for _, m := range loader.Metas() {
+		if strings.Contains(m.Path, "/lint/") && strings.Contains(m.Dir, "testdata") {
+			continue
+		}
+		metas = append(metas, m)
+	}
+	pkgs, _, err := checkAll(loader, metas)
+	if err != nil {
+		return err
+	}
+	callgraph.Build(loader.Fset, pkgs).WriteHotReport(w)
+	return nil
+}
+
+// hashPackage computes the content identity of a package: its own file
+// contents plus the recursive hash of every module-internal import and
+// the Go version. Analyzer labels are deliberately NOT part of this
+// hash — each cache scope mixes its own analyzer set in on top, so a
+// per-package analyzer bump cannot roll the whole-program graph key.
+func hashPackage(loader *load.Loader, m *load.Meta, memo map[string]string) (string, error) {
 	if h, ok := memo[m.Path]; ok {
 		return h, nil
 	}
 	memo[m.Path] = "" // cycle guard; package cycles cannot compile anyway
 	h := sha256.New()
 	_, _ = fmt.Fprintf(h, "go=%s\n", runtime.Version())
-	for _, a := range analyzers {
-		_, _ = fmt.Fprintf(h, "analyzer=%s\n", a.Name)
-	}
 	for _, name := range m.GoFiles {
 		data, err := os.ReadFile(filepath.Join(m.Dir, name))
 		if err != nil {
@@ -238,7 +472,7 @@ func hashPackage(loader *load.Loader, m *load.Meta, analyzers []*analysis.Analyz
 		if !ok {
 			continue // standard library: covered by the Go version
 		}
-		dh, err := hashPackage(loader, dep, analyzers, memo)
+		dh, err := hashPackage(loader, dep, memo)
 		if err != nil {
 			return "", err
 		}

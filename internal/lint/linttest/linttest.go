@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/lint"
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
 )
 
 // wantRE matches one `// want "..."` marker clause. Markers may stack:
@@ -36,8 +37,9 @@ var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 // Run type-checks the .go files in dir as a package with import path
 // pkgPath, runs a over it, filters suppressions, and diffs the result
 // against the `// want` markers. pkgPath matters: path-scoped analyzer
-// policy (the internal/randx exemption, lockcheck's server-path rule)
-// keys off it.
+// policy (the internal/randx exemption, goroutinecheck's server-path
+// rule) keys off it. Graph analyzers (RunGraph) get a single-package
+// call graph built from the same files.
 func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
 	t.Helper()
 	diags, malformed := Findings(t, a, dir, pkgPath)
@@ -70,16 +72,31 @@ func Findings(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) (diags []
 		t.Fatalf("typecheck %s: %v", dir, err)
 	}
 	var raw []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      fset,
-		Files:     files,
-		Pkg:       pkg,
-		TypesInfo: info,
-		Report:    func(d analysis.Diagnostic) { raw = append(raw, d) },
-	}
-	if err := a.Run(pass); err != nil {
-		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	if a.RunGraph != nil {
+		cp := &callgraph.Package{Path: pkgPath, Dir: dir, Files: files, Types: pkg, Info: info}
+		pkgs := []*callgraph.Package{cp}
+		gp := &analysis.GraphPass{
+			Analyzer: a,
+			Fset:     fset,
+			Pkgs:     pkgs,
+			Graph:    callgraph.Build(fset, pkgs),
+			Report:   func(d analysis.Diagnostic) { raw = append(raw, d) },
+		}
+		if err := a.RunGraph(gp); err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+		}
+	} else {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { raw = append(raw, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+		}
 	}
 	kept, malformed := lint.FilterSuppressed(fset, files, raw)
 	for _, d := range kept {

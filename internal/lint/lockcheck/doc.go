@@ -13,12 +13,10 @@
 //     or be covered by a deferred release. A branch, loop, return, or
 //     go statement between Lock and a non-deferred Unlock means one
 //     early return or panic strands the lock.
-//   - No raw goroutines in server paths: in packages matched by
-//     ServerPathPattern (internal/serve, internal/core), `go` statements
-//     must fan out through internal/parallel so concurrency stays
-//     bounded and first-error semantics hold. Lifecycle goroutines that
-//     are genuinely outside request work carry a //lint:allow with the
-//     justification.
+//
+// The raw-goroutine rule for server paths moved to goroutinecheck
+// (lockcheck v2), which enforces it repo-wide with call-graph-resolved
+// lifecycle binding.
 //
 // Findings are suppressed with `//lint:allow lockcheck <reason>` on the
 // finding's line or the line above; the reason is mandatory.

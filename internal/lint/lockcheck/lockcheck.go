@@ -4,29 +4,23 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"regexp"
 
 	"repro/internal/lint/analysis"
 )
 
-// Analyzer enforces the concurrency discipline the serving and
-// training paths rely on: no copied locks, no critical section that
-// branches between Lock and a non-deferred Unlock, and no raw
-// goroutines in server paths outside the internal/parallel pool.
+// Analyzer enforces the lock discipline the serving and training
+// paths rely on: no copied locks and no critical section that branches
+// between Lock and a non-deferred Unlock. (The raw-goroutine rule that
+// used to live here moved to goroutinecheck in v2, where it applies
+// repo-wide with call-graph-resolved lifecycle binding.)
 var Analyzer = &analysis.Analyzer{
-	Name: "lockcheck",
+	Name:    "lockcheck",
+	Version: "v2",
 	Doc: "flag copies of lock-bearing values (value receivers, value params, " +
-		"assignments, range values), Lock/Unlock pairs where the critical section " +
-		"branches without a deferred Unlock, and goroutines spawned in server paths " +
-		"(internal/serve, internal/core) outside the internal/parallel pool",
+		"assignments, range values) and Lock/Unlock pairs where the critical section " +
+		"branches without a deferred Unlock",
 	Run: run,
 }
-
-// ServerPathPattern selects the packages where raw `go` statements are
-// forbidden: request-serving code must fan out through
-// internal/parallel so concurrency stays bounded and first-error
-// semantics hold.
-var ServerPathPattern = regexp.MustCompile(`(^|/)(serve|core)$`)
 
 // lockNames are the sync types whose values must never be copied after
 // first use.
@@ -35,7 +29,6 @@ var lockNames = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
-	goForbidden := ServerPathPattern.MatchString(pass.Pkg.Path())
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
@@ -48,22 +41,11 @@ func run(pass *analysis.Pass) error {
 				checkCopyAssign(pass, n)
 			case *ast.RangeStmt:
 				checkRangeCopy(pass, n)
-			case *ast.GoStmt:
-				if goForbidden && !allowedGo(pass, n) {
-					pass.Reportf(n.Pos(), "raw goroutine in a server path: fan out through internal/parallel (ForEach) so concurrency stays bounded, or justify with //lint:allow")
-				}
 			}
 			return true
 		})
 	}
 	return nil
-}
-
-// allowedGo recognizes goroutines that are themselves part of the
-// parallel package's machinery when lockcheck analyzes it (the pattern
-// never matches internal/parallel, but testdata packages may alias).
-func allowedGo(pass *analysis.Pass, _ *ast.GoStmt) bool {
-	return false
 }
 
 // containsLock walks t's struct composition (fields, arrays, embedded

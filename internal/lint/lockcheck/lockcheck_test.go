@@ -10,19 +10,3 @@ import (
 func TestFlagged(t *testing.T) {
 	linttest.Run(t, lockcheck.Analyzer, "testdata/flag", "example.com/a")
 }
-
-// TestServerPath pins the path scoping of the raw-goroutine rule: the
-// same statement is flagged under a serve package path and ignored
-// under an ordinary one (covered by goOutsideServer in testdata/flag).
-func TestServerPath(t *testing.T) {
-	linttest.Run(t, lockcheck.Analyzer, "testdata/serve", "example.com/serve")
-}
-
-// TestServePathNegative runs the serve testdata under a non-server
-// path, where the goroutine must NOT be flagged.
-func TestServePathNegative(t *testing.T) {
-	diags, _ := linttest.Findings(t, lockcheck.Analyzer, "testdata/serve", "example.com/notaserver")
-	if len(diags) != 0 {
-		t.Fatalf("raw-goroutine rule leaked outside server paths: %v", diags)
-	}
-}

@@ -53,7 +53,7 @@ func straight(c *counter) {
 }
 
 func goOutsideServer(done chan struct{}) {
-	go func() { // raw goroutines are legal outside server paths
+	go func() { // goroutine lifecycle is goroutinecheck's concern, not lockcheck's
 		done <- struct{}{}
 	}()
 }

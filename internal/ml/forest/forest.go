@@ -78,6 +78,7 @@ func (f *Regressor) Fit(d *ml.Dataset) error {
 	// never on what the other workers consume.
 	treeRNGs := rng.SplitN(f.cfg.NumTrees)
 	trees := make([]*tree.Tree, f.cfg.NumTrees)
+	//lint:allow ctxflow Fit is synchronous and bit-reproducible; a caller deadline would make training results depend on timing
 	err := parallel.ForEach(context.Background(), f.cfg.NumTrees, 0, func(_ context.Context, t int) error {
 		treeRNG := treeRNGs[t]
 		boot := treeRNG.SampleWithReplacement(n, n)
@@ -127,6 +128,7 @@ func (f *Regressor) FeatureImportance() []float64 {
 
 // Predict averages the trees' predictions.
 func (f *Regressor) Predict(x []float64) []float64 {
+	//lint:allow alloccheck row API allocates only the returned vector by contract; the batch path fills caller buffers via PredictBatchInto
 	out := make([]float64, f.nOut)
 	f.PredictInto(x, out)
 	return out

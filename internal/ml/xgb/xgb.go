@@ -176,6 +176,7 @@ func (x *Regressor) Fit(d *ml.Dataset) error {
 	outRNGs := rng.SplitN(nOut)
 	baseScore := make([]float64, nOut)
 	ensembles := make([][]*bnode, nOut)
+	//lint:allow ctxflow Fit is synchronous and bit-reproducible; a caller deadline would make training results depend on timing
 	err := parallel.ForEach(context.Background(), nOut, 0, func(_ context.Context, out int) error {
 		y := make([]float64, n)
 		for i := range y {
@@ -343,6 +344,7 @@ func evalTree(n *bnode, x []float64) float64 {
 
 // Predict implements ml.Regressor via the flattened kernel.
 func (x *Regressor) Predict(in []float64) []float64 {
+	//lint:allow alloccheck row API allocates only the returned vector by contract; the batch path fills caller buffers via PredictBatchInto
 	out := make([]float64, len(x.flat))
 	x.PredictInto(in, out)
 	return out

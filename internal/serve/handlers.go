@@ -80,7 +80,7 @@ const maxQueueWait = time.Second
 // otherwise queueing up to maxQueueWait (but never past the request
 // deadline). It writes the 503/504/499 response itself on failure and
 // reports whether the slot was acquired.
-func (s *Server) acquireWorker(w http.ResponseWriter, ctx context.Context, phase string) bool {
+func (s *Server) acquireWorker(ctx context.Context, w http.ResponseWriter, phase string) bool {
 	select {
 	case s.sem <- struct{}{}:
 		return true
@@ -93,7 +93,7 @@ func (s *Server) acquireWorker(w http.ResponseWriter, ctx context.Context, phase
 	case s.sem <- struct{}{}:
 		return true
 	case <-ctx.Done():
-		writeTimeout(w, ctx, phase)
+		writeTimeout(ctx, w, phase)
 		return false
 	case <-queue.C:
 		setRetryAfter(w, maxQueueWait)
@@ -145,7 +145,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, useCase i
 
 	// Bounded worker pool: take a slot, queueing briefly under
 	// saturation and shedding with 503 + Retry-After past that.
-	if !s.acquireWorker(w, ctx, "waiting for a worker") {
+	if !s.acquireWorker(ctx, w, "waiting for a worker") {
 		return
 	}
 
@@ -154,7 +154,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, useCase i
 		err  error
 	}
 	done := make(chan outcome, 1)
-	//lint:allow lockcheck request-scoped worker already holds a pool slot (s.sem); freeing it is this goroutine's job
+	//lint:allow goroutinecheck request-scoped worker already holds a pool slot (s.sem); freeing it is this goroutine's job
 	go func() {
 		defer func() { <-s.sem }()
 		p, err := s.predict(ctx, &req, useCase, model, rep)
@@ -165,7 +165,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, useCase i
 	case <-ctx.Done():
 		// The worker goroutine finishes in the background and frees its
 		// slot; we just stop waiting for it.
-		writeTimeout(w, ctx, "prediction")
+		writeTimeout(ctx, w, "prediction")
 		return
 	case out := <-done:
 		if out.err != nil {
@@ -233,7 +233,7 @@ func (s *Server) handleUC1Batch(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	if !s.acquireWorker(w, ctx, "waiting for a worker") {
+	if !s.acquireWorker(ctx, w, "waiting for a worker") {
 		return
 	}
 
@@ -242,7 +242,7 @@ func (s *Server) handleUC1Batch(w http.ResponseWriter, r *http.Request) {
 		err   error
 	}
 	done := make(chan outcome, 1)
-	//lint:allow lockcheck request-scoped worker already holds a pool slot (s.sem); freeing it is this goroutine's job
+	//lint:allow goroutinecheck request-scoped worker already holds a pool slot (s.sem); freeing it is this goroutine's job
 	go func() {
 		defer func() { <-s.sem }()
 		preds, err := s.pred.PredictUC1ProfileBatch(ctx, req.System, probes, req.N, cfg)
@@ -251,7 +251,7 @@ func (s *Server) handleUC1Batch(w http.ResponseWriter, r *http.Request) {
 
 	select {
 	case <-ctx.Done():
-		writeTimeout(w, ctx, "batch prediction")
+		writeTimeout(ctx, w, "batch prediction")
 	case out := <-done:
 		if out.err != nil {
 			writePredictError(w, out.err)
@@ -458,7 +458,7 @@ func setRetryAfter(w http.ResponseWriter, d time.Duration) {
 
 // writeTimeout distinguishes a server-side deadline (504) from a client
 // disconnect (499).
-func writeTimeout(w http.ResponseWriter, ctx context.Context, phase string) {
+func writeTimeout(ctx context.Context, w http.ResponseWriter, phase string) {
 	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 		writeError(w, http.StatusGatewayTimeout, fmt.Sprintf("deadline exceeded while %s", phase))
 		return

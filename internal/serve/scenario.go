@@ -241,13 +241,14 @@ type scenarioHost struct {
 // scenarioServer builds, binds, and serves a scenario instance on a
 // loopback port.
 func scenarioServer(ctx context.Context, db *measure.Database, cfg drift.Config) (*scenarioHost, error) {
+	//lint:allow ctxflow constructor wiring only: spans start later inside refit callbacks that receive their own ctx
 	srv := New(db, Config{Addr: "127.0.0.1:0", Drift: cfg})
 	if err := srv.Listen(); err != nil {
 		return nil, err
 	}
 	sctx, cancel := context.WithCancel(ctx)
 	done := make(chan struct{})
-	//lint:allow lockcheck one serving goroutine per scenario host, joined by stop() before DriftScenario returns
+	//lint:allow goroutinecheck one serving goroutine per scenario host, joined by stop() before DriftScenario returns
 	go func() {
 		defer close(done)
 		_ = srv.Serve(sctx) // a canceled context is the normal exit

@@ -193,7 +193,7 @@ func (s *Server) Serve(ctx context.Context) error {
 	}
 	hs := &http.Server{Handler: s.mux}
 	errc := make(chan error, 1)
-	//lint:allow lockcheck process-lifetime listener goroutine joined via errc/Shutdown, not request work for the pool
+	//lint:allow goroutinecheck process-lifetime listener goroutine joined via errc/Shutdown, not request work for the pool
 	go func() { errc <- hs.Serve(s.ln) }()
 	select {
 	case err := <-errc:
@@ -201,6 +201,7 @@ func (s *Server) Serve(ctx context.Context) error {
 	case <-ctx.Done():
 	}
 	s.ready.Store(false)
+	//lint:allow ctxflow drain deadline must outlive the already-canceled run ctx; Background is the correct root for shutdown
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(drainCtx); err != nil {
