@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet varlint docscheck lintgraph persistence drift benchcheck benchcheck-update fuzz cover clean
+.PHONY: all build test race lint vet varlint docscheck lintgraph persistence drift cluster benchcheck benchcheck-update fuzz cover clean
 
 all: build test
 
@@ -56,6 +56,14 @@ persistence:
 drift:
 	$(GO) test -race -count=1 ./internal/drift/
 	$(GO) test -race -count=1 -run 'Measurements|Drift|Refit|Ingest|BodyCap|Batch' ./internal/serve/ ./internal/core/ ./internal/faults/
+
+# cluster mirrors the CI sharded-serving shard: consistent-hash ring
+# property tests, router failover/hot-swap concurrency under the race
+# detector, and the deterministic multi-replica simulation invariants
+# (single owner, bounded imbalance, minimal remap, zero lost requests,
+# near-linear virtual-time scaling), bypassing the test cache.
+cluster:
+	$(GO) test -race -count=1 ./internal/cluster/...
 
 # benchcheck guards the tier-1 hot paths (batch prediction, KS/W1
 # kernels) against BENCH_baseline.json; >20% ns/op regressions fail.

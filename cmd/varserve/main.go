@@ -53,6 +53,7 @@ func main() {
 	log.SetPrefix("varserve: ")
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
+		replica = flag.String("replica", "", "shard identity when serving behind varroute (surfaced in /readyz and /v1/status)")
 		dbPath  = flag.String("db", "", "measurement database from varcollect (collected on the fly when empty)")
 		runs    = flag.Int("runs", 400, "on-the-fly campaign size when -db is not given")
 		seed    = flag.Uint64("seed", 1, "on-the-fly campaign seed")
@@ -139,6 +140,7 @@ func main() {
 	}
 	srv := serve.New(db, serve.Config{
 		Addr:               listenAddr,
+		ReplicaID:          *replica,
 		Workers:            *workers,
 		RequestTimeout:     *timeout,
 		EnablePprof:        *pprofOn,

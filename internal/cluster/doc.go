@@ -1,0 +1,30 @@
+// Package cluster is the sharded multi-replica serving tier: a
+// router/frontend that partitions model cells across N varserve
+// replicas so one process's trained-model cache becomes a fleet's.
+//
+// Placement is consistent hashing with virtual nodes over the stable
+// dataset key (modelstore.DatasetKey, hashed with FNV-1a — the same
+// derivation the model registry's content addresses embed, so the
+// replica that owns a cell also owns every model trained from it and
+// its warm caches stay hot). Ownership is bounded-load: a replica
+// holds at most ceil(LoadFactor x keys/replicas) cells, with overflow
+// walking the ring, so a hot ring segment cannot pile every cell onto
+// one replica.
+//
+// Routing policies are pluggable behind one interface: cache-affinity
+// (the default, ownership-driven), round-robin, and least-loaded.
+// Replica health is tracked from the replicas' own /readyz and
+// /v1/status endpoints; degraded or breaker-open replicas drain to
+// ring-ordered fallbacks without giving up ownership, while failed
+// replicas trigger deterministic key remapping with minimal churn
+// (only the dead replica's keys move, and they move back when it
+// recovers). Replica errors are retried on the fallback sequence, with
+// optional hedging for tail latency.
+//
+// The router is exercised against in-process fake replicas by
+// internal/cluster/sim — a shared-clock event-loop harness that proves
+// the routing invariants (single owner per key, bounded imbalance,
+// minimal remap, no lost requests during failover) deterministically,
+// before any socket is opened. cmd/varroute wires the same router to
+// real HTTP backends.
+package cluster

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/modelstore"
+	"repro/internal/obs"
+)
+
+// maxFrontendBody bounds request bodies the frontend will buffer,
+// mirroring varserve's own ingest limit.
+const maxFrontendBody = 32 << 20
+
+// Frontend is the router's HTTP face: it derives the dataset key from
+// each request body, routes through the Router, and relays the owning
+// replica's response verbatim. It exposes the same /v1 surface as a
+// single varserve plus /v1/cluster/status, so existing clients (and
+// the loadgen) point at the router unchanged.
+type Frontend struct {
+	router  *Router
+	metrics *obs.Registry
+	mux     *http.ServeMux
+}
+
+// NewFrontend builds the HTTP handler for the router. metrics may be
+// nil.
+func NewFrontend(router *Router, metrics *obs.Registry) *Frontend {
+	f := &Frontend{router: router, metrics: metrics, mux: http.NewServeMux()}
+	f.mux.HandleFunc("POST /v1/predict/uc1", f.forwardKeyed(keyUC1))
+	f.mux.HandleFunc("POST /v1/predict/uc1/batch", f.forwardKeyed(keyUC1))
+	f.mux.HandleFunc("POST /v1/predict/uc2", f.forwardKeyed(keyUC2))
+	f.mux.HandleFunc("POST /v1/measurements", f.forwardKeyed(keyMeasurement))
+	f.mux.HandleFunc("GET /v1/systems", f.forwardUnkeyed)
+	f.mux.HandleFunc("GET /v1/cluster/status", f.handleClusterStatus)
+	f.mux.HandleFunc("GET /metrics", f.handleMetrics)
+	f.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	f.mux.HandleFunc("GET /readyz", f.handleReadyz)
+	return f
+}
+
+// ServeHTTP implements http.Handler.
+func (f *Frontend) ServeHTTP(w http.ResponseWriter, r *http.Request) { f.mux.ServeHTTP(w, r) }
+
+// keyedBody is the superset of fields the frontend needs from any
+// keyed request body to derive its routing key. Everything else passes
+// through opaque.
+type keyedBody struct {
+	System string `json:"system"`
+	Source string `json:"source"`
+	Target string `json:"target"`
+}
+
+// keyUC1 routes UC1 predictions (single and batch) by their system's
+// dataset cell.
+func keyUC1(b keyedBody) (string, error) {
+	if b.System == "" {
+		return "", fmt.Errorf("system is required")
+	}
+	return modelstore.DatasetKey(1, b.System, ""), nil
+}
+
+// keyUC2 routes cross-system predictions by the (source, target) cell.
+func keyUC2(b keyedBody) (string, error) {
+	if b.Source == "" || b.Target == "" {
+		return "", fmt.Errorf("source and target are required")
+	}
+	return modelstore.DatasetKey(2, b.Source, b.Target), nil
+}
+
+// keyMeasurement routes ingest batches to the system's UC1 cell owner,
+// so the replica accumulating a system's drift windows is the one
+// serving its predictions.
+func keyMeasurement(b keyedBody) (string, error) {
+	if b.System == "" {
+		return "", fmt.Errorf("system is required")
+	}
+	return modelstore.DatasetKey(1, b.System, ""), nil
+}
+
+// forwardKeyed builds a handler that extracts the routing key with
+// derive and relays through the router.
+func (f *Frontend) forwardKeyed(derive func(keyedBody) (string, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxFrontendBody))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+			return
+		}
+		var kb keyedBody
+		if err := json.Unmarshal(body, &kb); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+			return
+		}
+		key, err := derive(kb)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		f.relay(w, r, Request{Method: r.Method, Path: r.URL.Path, Key: key, Body: body})
+	}
+}
+
+// forwardUnkeyed relays requests with no dataset identity (the policy
+// alone picks the replica).
+func (f *Frontend) forwardUnkeyed(w http.ResponseWriter, r *http.Request) {
+	f.relay(w, r, Request{Method: r.Method, Path: r.URL.Path})
+}
+
+// relay routes through the router and copies the replica's answer out.
+func (f *Frontend) relay(w http.ResponseWriter, r *http.Request, req Request) {
+	resp, err := f.router.Do(r.Context(), req)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if resp.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int(resp.RetryAfter/time.Second)))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.Status)
+	_, _ = w.Write(resp.Body)
+}
+
+// handleClusterStatus renders the router's own posture.
+func (f *Frontend) handleClusterStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, f.router.Snapshot())
+}
+
+// handleMetrics renders the router's metric registry.
+func (f *Frontend) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, f.metrics.Snapshot())
+}
+
+// handleReadyz: the tier is ready while any replica is routable.
+func (f *Frontend) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	st := f.router.Snapshot()
+	alive := 0
+	for _, rep := range st.Replicas {
+		if rep.State != Down.String() {
+			alive++
+		}
+	}
+	if alive == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "no live replicas"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "replicas_live": alive})
+}
+
+// writeJSON and writeError mirror the serve package's helpers (the
+// frontend keeps zero dependencies on internal/serve so the sim can
+// import cluster without pulling the full server).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

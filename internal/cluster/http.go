@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxReplicaBody bounds how much of a replica's response the router
+// buffers (batch predictions dominate; 32 MiB is far above any real
+// payload).
+const maxReplicaBody = 32 << 20
+
+// HTTPBackend adapts one varserve replica's HTTP surface to the
+// Backend interface. The zero value is unusable; use NewHTTPBackend.
+type HTTPBackend struct {
+	id     string
+	base   string
+	client *http.Client
+}
+
+// NewHTTPBackend wraps the replica at baseURL (e.g.
+// "http://127.0.0.1:8081") under the given ring identity. client nil
+// selects a default with the given timeout per request.
+func NewHTTPBackend(id, baseURL string, client *http.Client, timeout time.Duration) *HTTPBackend {
+	if client == nil {
+		client = &http.Client{Timeout: timeout}
+	}
+	return &HTTPBackend{id: id, base: baseURL, client: client}
+}
+
+// ID implements Backend.
+func (b *HTTPBackend) ID() string { return b.id }
+
+// Do implements Backend: forward the request and buffer the response.
+func (b *HTTPBackend) Do(ctx context.Context, req Request) (Response, error) {
+	var body io.Reader
+	if len(req.Body) > 0 {
+		body = bytes.NewReader(req.Body)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, req.Method, b.base+req.Path, body)
+	if err != nil {
+		return Response{}, fmt.Errorf("cluster: build request: %w", err)
+	}
+	if len(req.Body) > 0 {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
+	hresp, err := b.client.Do(hreq)
+	if err != nil {
+		return Response{}, fmt.Errorf("cluster: %s: %w", b.id, err)
+	}
+	defer hresp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(hresp.Body, maxReplicaBody))
+	if err != nil {
+		return Response{}, fmt.Errorf("cluster: read %s response: %w", b.id, err)
+	}
+	resp := Response{Status: hresp.StatusCode, Body: payload}
+	if ra := hresp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			resp.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return resp, nil
+}
+
+// Probe implements Backend: distill /readyz and /v1/status into one
+// health observation. /readyz alone decides routability; /v1/status
+// only refines Ready into Degraded, so its failure is not a probe
+// failure.
+func (b *HTTPBackend) Probe(ctx context.Context) (Probe, error) {
+	var rz struct {
+		Status       string `json:"status"`
+		BreakersOpen int    `json:"breakers_open"`
+	}
+	status, err := b.getJSON(ctx, "/readyz", &rz)
+	if err != nil {
+		return Probe{}, err
+	}
+	p := Probe{
+		Ready:        status == http.StatusOK,
+		Status:       rz.Status,
+		BreakersOpen: rz.BreakersOpen,
+	}
+	if !p.Ready {
+		return p, nil
+	}
+	var st struct {
+		Status       string `json:"status"`
+		BreakersOpen int    `json:"breakers_open"`
+		Drift        *struct {
+			Drifted int `json:"drifted"`
+		} `json:"drift"`
+	}
+	if code, err := b.getJSON(ctx, "/v1/status", &st); err == nil && code == http.StatusOK {
+		p.Status = st.Status
+		p.BreakersOpen = st.BreakersOpen
+		if st.Drift != nil {
+			p.Drifted = st.Drift.Drifted
+		}
+	}
+	return p, nil
+}
+
+// getJSON fetches path and decodes the JSON body into out, returning
+// the HTTP status. Non-2xx bodies are still decoded when possible
+// (varserve's draining /readyz is a 503 with a JSON body).
+func (b *HTTPBackend) getJSON(ctx context.Context, path string, out any) (int, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+path, nil)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: build probe: %w", err)
+	}
+	hresp, err := b.client.Do(hreq)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: probe %s: %w", b.id, err)
+	}
+	defer hresp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(hresp.Body, 1<<20))
+	if err != nil {
+		return hresp.StatusCode, fmt.Errorf("cluster: read probe body: %w", err)
+	}
+	if len(payload) > 0 {
+		// Tolerate non-JSON bodies from intermediaries.
+		_ = json.Unmarshal(payload, out)
+	}
+	return hresp.StatusCode, nil
+}

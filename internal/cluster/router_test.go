@@ -1,0 +1,336 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeBackend is the in-package test replica: scriptable health,
+// transport failures, and per-key serve counts.
+type fakeBackend struct {
+	id string
+
+	mu       sync.Mutex
+	ready    bool
+	status   string
+	breakers int
+	fail     bool          // transport error on Do
+	delay    time.Duration // real sleep before answering (hedging tests)
+
+	served sync.Map // key -> *atomic.Int64
+	total  atomic.Int64
+}
+
+func newFakeBackend(id string) *fakeBackend {
+	return &fakeBackend{id: id, ready: true, status: "ok"}
+}
+
+func (f *fakeBackend) ID() string { return f.id }
+
+func (f *fakeBackend) set(ready bool, status string, fail bool) {
+	f.mu.Lock()
+	f.ready, f.status, f.fail = ready, status, fail
+	f.mu.Unlock()
+}
+
+func (f *fakeBackend) Do(ctx context.Context, req Request) (Response, error) {
+	f.mu.Lock()
+	fail, delay := f.fail, f.delay
+	f.mu.Unlock()
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return Response{}, ctx.Err()
+		}
+	}
+	if fail {
+		return Response{}, fmt.Errorf("connection refused")
+	}
+	c, _ := f.served.LoadOrStore(req.Key, new(atomic.Int64))
+	c.(*atomic.Int64).Add(1)
+	f.total.Add(1)
+	return Response{Status: http.StatusOK, Body: []byte(`{"ok":true}`)}, nil
+}
+
+func (f *fakeBackend) Probe(context.Context) (Probe, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail {
+		return Probe{}, fmt.Errorf("connection refused")
+	}
+	return Probe{Ready: f.ready, Status: f.status, BreakersOpen: f.breakers}, nil
+}
+
+func testRouter(t *testing.T, n int, mutate func(cfg *Config)) (*Router, []*fakeBackend) {
+	t.Helper()
+	backs := make([]*fakeBackend, n)
+	cfg := Config{}
+	for i := range backs {
+		backs[i] = newFakeBackend(fmt.Sprintf("replica-%d", i))
+		cfg.Backends = append(cfg.Backends, backs[i])
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return r, backs
+}
+
+// TestRouterConcurrentHealthAndRouting hammers Do from many goroutines
+// while probes flip replica health underneath — the -race workhorse.
+func TestRouterConcurrentHealthAndRouting(t *testing.T) {
+	r, backs := testRouter(t, 4, nil)
+	ctx := context.Background()
+	keys := testKeys(64)
+	stop := make(chan struct{})
+	var prober sync.WaitGroup
+	prober.Add(1)
+	go func() {
+		defer prober.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b := backs[i%len(backs)]
+			b.set(i%3 != 0, "ok", false)
+			r.ProbeAll(ctx)
+		}
+	}()
+	var errs atomic.Int64
+	var workers sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		workers.Add(1)
+		go func(g int) {
+			defer workers.Done()
+			for i := 0; i < 200; i++ {
+				key := keys[(g*200+i)%len(keys)]
+				if _, err := r.Do(ctx, Request{Method: "POST", Path: "/v1/predict/uc1", Key: key}); err != nil {
+					errs.Add(1)
+				}
+			}
+		}(g)
+	}
+	workers.Wait()
+	close(stop)
+	prober.Wait()
+	// At most one replica is unhealthy at a time and retries cover it,
+	// so hard failures should be rare to zero.
+	if errs.Load() > 50 {
+		t.Fatalf("%d of 1600 requests failed outright", errs.Load())
+	}
+}
+
+// TestPolicyHotSwap swaps policies under live traffic; -race plus the
+// invariant that every request still lands somewhere.
+func TestPolicyHotSwap(t *testing.T) {
+	r, backs := testRouter(t, 3, nil)
+	ctx := context.Background()
+	keys := testKeys(32)
+	policies := []Policy{CacheAffinity{}, RoundRobin{}, LeastLoaded{}}
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				r.SetPolicy(policies[i%len(policies)])
+			}
+		}
+	}()
+	var workers sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		workers.Add(1)
+		go func(g int) {
+			defer workers.Done()
+			for i := 0; i < 150; i++ {
+				if _, err := r.Do(ctx, Request{Method: "POST", Path: "/p", Key: keys[i%len(keys)]}); err != nil {
+					t.Errorf("Do under hot swap: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	workers.Wait()
+	close(stop)
+	swapper.Wait()
+	total := int64(0)
+	for _, b := range backs {
+		total += b.total.Load()
+	}
+	if total != 6*150 {
+		t.Fatalf("replicas served %d requests, want %d", total, 6*150)
+	}
+}
+
+// TestLeastLoadedNeverRoutesNotReady is the regression pin: a Down
+// replica receives zero requests under the least-loaded policy, even
+// though it always has the fewest in flight.
+func TestLeastLoadedNeverRoutesNotReady(t *testing.T) {
+	r, backs := testRouter(t, 3, func(cfg *Config) { cfg.Policy = LeastLoaded{} })
+	ctx := context.Background()
+	backs[1].set(false, "draining", false)
+	r.ProbeAll(ctx)
+	for i, key := range testKeys(200) {
+		if _, err := r.Do(ctx, Request{Method: "POST", Path: "/p", Key: key}); err != nil {
+			t.Fatalf("Do %d: %v", i, err)
+		}
+	}
+	if got := backs[1].total.Load(); got != 0 {
+		t.Fatalf("not-ready replica served %d requests, want 0", got)
+	}
+	// Sequential requests all tie at zero in flight, so the ID
+	// tie-break deterministically picks the first live replica; the
+	// live pair must account for every request either way.
+	if total := backs[0].total.Load() + backs[2].total.Load(); total != 200 {
+		t.Fatalf("live replicas served %d requests, want 200", total)
+	}
+}
+
+// TestRouterFailoverOnTransportError pins retry semantics: the dead
+// owner's transport error fails over to a fallback, the request
+// succeeds, and the dead replica trips Down at the failure threshold
+// with its keys remapped.
+func TestRouterFailoverOnTransportError(t *testing.T) {
+	r, backs := testRouter(t, 3, func(cfg *Config) { cfg.ProbeFailures = 1 })
+	ctx := context.Background()
+	keys := testKeys(60)
+	for _, key := range keys {
+		if _, err := r.Do(ctx, Request{Method: "POST", Path: "/p", Key: key}); err != nil {
+			t.Fatalf("warm Do: %v", err)
+		}
+	}
+	var victim *fakeBackend
+	owners := r.Owners()
+	for _, b := range backs {
+		for _, id := range owners {
+			if id == b.id {
+				victim = b
+				break
+			}
+		}
+		if victim != nil {
+			break
+		}
+	}
+	victim.set(true, "ok", true) // transport failures from now on
+	for _, key := range keys {
+		resp, err := r.Do(ctx, Request{Method: "POST", Path: "/p", Key: key})
+		if err != nil {
+			t.Fatalf("failover Do(%q): %v", key, err)
+		}
+		if resp.Status != http.StatusOK {
+			t.Fatalf("failover Do(%q) status %d", key, resp.Status)
+		}
+	}
+	if got := r.replicas[victim.id].State(); got != Down {
+		t.Fatalf("victim state %v after transport failures, want Down", got)
+	}
+	for key, id := range r.Owners() {
+		if id == victim.id {
+			t.Fatalf("key %q still owned by down replica", key)
+		}
+	}
+}
+
+// TestRouterFailbackOnRecovery pins minimal remap and fail-back: keys
+// shed by a dead replica return to it (and only to it) on recovery —
+// but only the keys whose pure ring owner it is.
+func TestRouterFailbackOnRecovery(t *testing.T) {
+	r, backs := testRouter(t, 4, nil)
+	ctx := context.Background()
+	keys := testKeys(200)
+	route := func() {
+		for _, key := range keys {
+			if _, err := r.Do(ctx, Request{Method: "POST", Path: "/p", Key: key}); err != nil {
+				t.Fatalf("Do: %v", err)
+			}
+		}
+	}
+	route()
+	before := r.Owners()
+
+	victim := backs[2]
+	victim.set(false, "down", false)
+	r.ProbeAll(ctx)
+	route()
+	during := r.Owners()
+	for key, id := range during {
+		if id == victim.id {
+			t.Fatalf("key %q routed to down replica", key)
+		}
+		if before[key] != victim.id && during[key] != before[key] {
+			t.Fatalf("key %q moved %s -> %s though its owner stayed alive", key, before[key], during[key])
+		}
+	}
+
+	victim.set(true, "ok", false)
+	r.ProbeAll(ctx)
+	route()
+	after := r.Owners()
+	returned := 0
+	for key, id := range after {
+		if r.ring.Owner(key) == victim.id {
+			if id != victim.id {
+				t.Fatalf("ring-owned key %q not failed back (owner %s)", key, id)
+			}
+			returned++
+		} else if during[key] != "" && id != during[key] {
+			t.Fatalf("non-ring key %q churned %s -> %s on recovery", key, during[key], id)
+		}
+	}
+	if returned == 0 {
+		t.Fatal("no keys failed back; test is vacuous")
+	}
+}
+
+// TestRouterHedging pins that a slow primary gets hedged to the next
+// candidate and the fast answer wins.
+func TestRouterHedging(t *testing.T) {
+	r, backs := testRouter(t, 2, func(cfg *Config) {
+		cfg.HedgeAfter = 5 * time.Millisecond
+	})
+	ctx := context.Background()
+	key := testKeys(1)[0]
+	// Make the key's owner slow.
+	if _, err := r.Do(ctx, Request{Method: "POST", Path: "/p", Key: key}); err != nil {
+		t.Fatalf("warm Do: %v", err)
+	}
+	ownerID := r.Owners()[key]
+	var owner, other *fakeBackend
+	for _, b := range backs {
+		if b.id == ownerID {
+			owner = b
+		} else {
+			other = b
+		}
+	}
+	owner.mu.Lock()
+	owner.delay = 300 * time.Millisecond
+	owner.mu.Unlock()
+	start := time.Now()
+	resp, err := r.Do(ctx, Request{Method: "POST", Path: "/p", Key: key})
+	if err != nil || resp.Status != http.StatusOK {
+		t.Fatalf("hedged Do: %v status %d", err, resp.Status)
+	}
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Fatalf("hedged request took %v; hedge did not fire", elapsed)
+	}
+	if other.total.Load() == 0 {
+		t.Fatal("hedge replica served nothing")
+	}
+}

@@ -1,0 +1,30 @@
+// Package sim is the deterministic cluster-simulation harness: it
+// runs the REAL cluster.Router against in-process fake replicas on a
+// shared virtual clock, so the routing invariants that matter in
+// production — single owner per key, bounded imbalance, minimal remap
+// on replica loss, zero lost requests through failover — are proven
+// byte-deterministically in unit-test time, with no sockets and no
+// sleeps.
+//
+// The moving parts:
+//
+//   - Clock: a manually advanced shared time source every component
+//     (router, replicas, harness) reads through randx.Clock.
+//   - Replica: a fake varserve implementing cluster.Backend. Capacity
+//     is modeled in virtual time with a busy-until horizon (a replica
+//     serves serially; a request entering at t completes at
+//     max(t, busyUntil) + service time), latency jitter and service
+//     times are drawn from faults.StreamRNG so the same scenario seed
+//     replays the same tails, and outage windows make Do and Probe
+//     fail like a crashed process.
+//   - Harness: drives a Schedule of timestamped requests through the
+//     router synchronously, interleaving health probes on the
+//     configured cadence, and records every response with the serving
+//     replica and virtual completion time.
+//
+// Because everything is synchronous and every random draw is
+// stream-seeded, a scenario's entire outcome — who served what, the
+// owner table, the makespan — renders to a stable fingerprint string;
+// the invariant tests compare fingerprints across reruns to pin
+// determinism itself.
+package sim

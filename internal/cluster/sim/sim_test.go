@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func replicaConfigs(n int, mutate func(i int, rc *ReplicaConfig)) []ReplicaConfig {
+	cfgs := make([]ReplicaConfig, n)
+	for i := range cfgs {
+		cfgs[i] = ReplicaConfig{ID: fmt.Sprintf("replica-%d", i), ServiceTime: 10 * time.Millisecond}
+		if mutate != nil {
+			mutate(i, &cfgs[i])
+		}
+	}
+	return cfgs
+}
+
+// TestSimSingleOwnerAndImbalance is the headline distribution
+// invariant on the live router: 1k keys over 8 healthy replicas, every
+// key served by exactly one replica (its table owner), and no replica
+// owns more than the bounded-load cap ceil(1.25 x 1000/8) = 157.
+func TestSimSingleOwnerAndImbalance(t *testing.T) {
+	h, err := NewHarness(replicaConfigs(8, nil), 7, nil)
+	if err != nil {
+		t.Fatalf("NewHarness: %v", err)
+	}
+	keys := ScenarioKeys(1000)
+	res := h.Run(context.Background(), UniformSchedule(keys, 2000, 0, time.Millisecond))
+	if lost := res.Lost(); lost != 0 {
+		t.Fatalf("lost %d requests on a healthy fleet", lost)
+	}
+	owners := h.Router.Owners()
+	for _, rep := range h.Replicas {
+		for key := range rep.ServedKeys() {
+			if owners[key] != rep.ID() {
+				t.Fatalf("key %q served by %s but owned by %s", key, rep.ID(), owners[key])
+			}
+		}
+	}
+	servedBy := map[string]string{}
+	for _, rep := range h.Replicas {
+		for key := range rep.ServedKeys() {
+			if prev, ok := servedBy[key]; ok && prev != rep.ID() {
+				t.Fatalf("key %q served by both %s and %s", key, prev, rep.ID())
+			}
+			servedBy[key] = rep.ID()
+		}
+	}
+	cap_ := cluster.BoundedCap(1.25, len(keys), 8)
+	if cap_ != 157 {
+		t.Fatalf("cap = %d, want 157", cap_)
+	}
+	for id, n := range h.Router.OwnerCounts() {
+		if n > cap_ {
+			t.Errorf("replica %s owns %d keys, above cap %d", id, n, cap_)
+		}
+	}
+}
+
+// TestSimFailoverNoLostRequests is the deterministic failover e2e: one
+// replica dies mid-stream on the virtual schedule, every request in
+// flight or arriving during the outage still completes via retry, no
+// ingest batch is dropped, the remap is minimal, and ownership fails
+// back after recovery.
+func TestSimFailoverNoLostRequests(t *testing.T) {
+	const (
+		outageFrom = 400 * time.Millisecond
+		outageTo   = 900 * time.Millisecond
+	)
+	victimID := "replica-2"
+	h, err := NewHarness(replicaConfigs(4, func(i int, rc *ReplicaConfig) {
+		if rc.ID == victimID {
+			rc.Outages = []Window{{From: outageFrom, To: outageTo}}
+		}
+	}), 11, nil)
+	if err != nil {
+		t.Fatalf("NewHarness: %v", err)
+	}
+	ctx := context.Background()
+	keys := ScenarioKeys(120)
+
+	// Phase 1: healthy warm-up assigns every key.
+	warm := UniformSchedule(keys, 240, 0, time.Millisecond)
+	if lost := h.Run(ctx, warm).Lost(); lost != 0 {
+		t.Fatalf("warm-up lost %d requests", lost)
+	}
+	before := h.Router.Owners()
+
+	// Phase 2: the outage window. Predictions and ingest batches keep
+	// arriving; detection happens via transport failures and the 50ms
+	// probe cadence, retries carry everything to fallbacks.
+	var storm Schedule
+	for i := 0; i < 300; i++ {
+		at := 350*time.Millisecond + time.Duration(i)*2*time.Millisecond
+		key := keys[i%len(keys)]
+		req := cluster.Request{Method: "POST", Path: "/v1/predict/uc1", Key: key}
+		if i%5 == 0 {
+			req.Path = "/v1/measurements"
+		}
+		storm = append(storm, Event{At: at, Req: req})
+	}
+	stormRes := h.Run(ctx, storm)
+	if lost := stormRes.Lost(); lost != 0 {
+		for _, o := range stormRes.Outcomes {
+			if o.Err != nil {
+				t.Logf("lost: t=%v key=%s err=%v", o.Event.At, o.Event.Req.Key, o.Err)
+			}
+		}
+		t.Fatalf("outage phase lost %d of %d requests", lost, len(storm))
+	}
+	during := h.Router.Owners()
+	for key, id := range during {
+		if before[key] != victimID && id != before[key] {
+			t.Fatalf("key %q churned %s -> %s though its owner stayed up", key, before[key], id)
+		}
+	}
+	ingested := 0
+	for _, rep := range h.Replicas {
+		for _, n := range rep.Ingested() {
+			ingested += n
+		}
+	}
+	if want := 60; ingested != want {
+		t.Fatalf("replicas ingested %d measurement batches, want %d", ingested, want)
+	}
+
+	// Phase 3: after recovery, probes restore the victim and its
+	// ring-owned keys fail back.
+	tail := UniformSchedule(keys, 240, 1000*time.Millisecond, time.Millisecond)
+	if lost := h.Run(ctx, tail).Lost(); lost != 0 {
+		t.Fatalf("recovery phase lost %d requests", lost)
+	}
+	after := h.Router.Owners()
+	returned := 0
+	for key, id := range after {
+		if h.Router.Ring().Owner(key) == victimID {
+			if id != victimID {
+				t.Fatalf("ring-owned key %q not failed back to %s (owner %s)", key, victimID, id)
+			}
+			returned++
+		}
+	}
+	if returned == 0 {
+		t.Fatal("victim owned no ring keys; failover test is vacuous")
+	}
+	if snap := h.Router.Snapshot(); snap.Remaps == 0 {
+		t.Fatal("outage produced no remaps")
+	}
+}
+
+// TestSimDegradedDrainsWithoutRemap pins the degraded semantics: a
+// replica reporting open breakers keeps its ownership but receives no
+// new traffic while Ready fallbacks exist.
+func TestSimDegradedDrainsWithoutRemap(t *testing.T) {
+	victimID := "replica-1"
+	h, err := NewHarness(replicaConfigs(3, func(i int, rc *ReplicaConfig) {
+		if rc.ID == victimID {
+			rc.Degraded = []Window{{From: 200 * time.Millisecond, To: time.Hour}}
+		}
+	}), 13, nil)
+	if err != nil {
+		t.Fatalf("NewHarness: %v", err)
+	}
+	ctx := context.Background()
+	keys := ScenarioKeys(90)
+	if lost := h.Run(ctx, UniformSchedule(keys, 90, 0, time.Millisecond)).Lost(); lost != 0 {
+		t.Fatal("warm-up lost requests")
+	}
+	before := h.Router.Owners()
+	var victim *Replica
+	for _, rep := range h.Replicas {
+		if rep.ID() == victimID {
+			victim = rep
+		}
+	}
+	servedBefore := len(victim.ServedKeys())
+	if servedBefore == 0 {
+		t.Fatal("victim served nothing while healthy; test is vacuous")
+	}
+
+	if lost := h.Run(ctx, UniformSchedule(keys, 180, 300*time.Millisecond, time.Millisecond)).Lost(); lost != 0 {
+		t.Fatal("degraded phase lost requests")
+	}
+	// Ownership must be untouched (degraded is a drain, not a death).
+	after := h.Router.Owners()
+	for key, id := range before {
+		if after[key] != id {
+			t.Fatalf("key %q remapped %s -> %s on degradation", key, id, after[key])
+		}
+	}
+	// And the victim served nothing new while degraded.
+	if got := len(victim.ServedKeys()); got != servedBefore {
+		t.Fatalf("degraded replica served %d keys, had %d before degradation", got, servedBefore)
+	}
+}
+
+// TestSimByteDeterminism runs the same faulted scenario twice in fresh
+// harnesses and compares full fingerprints — who served what, final
+// ownership, makespan — byte for byte.
+func TestSimByteDeterminism(t *testing.T) {
+	build := func() (*Harness, *Result) {
+		h, err := NewHarness(replicaConfigs(5, func(i int, rc *ReplicaConfig) {
+			rc.JitterFrac = 0.3
+			if i == 3 {
+				rc.Outages = []Window{{From: 150 * time.Millisecond, To: 320 * time.Millisecond}}
+			}
+		}), 29, nil)
+		if err != nil {
+			t.Fatalf("NewHarness: %v", err)
+		}
+		keys := ScenarioKeys(200)
+		var sched Schedule
+		for i := 0; i < 500; i++ {
+			req := cluster.Request{Method: "POST", Path: "/v1/predict/uc1", Key: keys[(i*7)%len(keys)]}
+			if i%9 == 0 {
+				req.Path = "/v1/measurements"
+			}
+			sched = append(sched, Event{At: time.Duration(i) * time.Millisecond, Req: req})
+		}
+		return h, h.Run(context.Background(), sched)
+	}
+	h1, r1 := build()
+	h2, r2 := build()
+	fp1, fp2 := h1.Fingerprint(r1), h2.Fingerprint(r2)
+	if fp1 != fp2 {
+		t.Fatalf("reruns diverged:\n--- run 1 ---\n%.2000s\n--- run 2 ---\n%.2000s", fp1, fp2)
+	}
+	if len(fp1) == 0 {
+		t.Fatal("empty fingerprint")
+	}
+}
+
+// TestSimScalingNearLinear is the acceptance scenario: the same
+// saturating workload on 1, 2, and 4 replicas must scale virtual-time
+// throughput by >= 1.7x and >= 3x respectively.
+func TestSimScalingNearLinear(t *testing.T) {
+	points, err := ScalingScenario(context.Background(), []int{1, 2, 4}, 200, 2000, 10*time.Millisecond, 5)
+	if err != nil {
+		t.Fatalf("ScalingScenario: %v", err)
+	}
+	base := points[0]
+	for _, p := range points {
+		t.Logf("replicas=%d makespan=%v throughput=%.1f req/s speedup=%.2fx",
+			p.Replicas, p.Makespan, p.Throughput, p.Speedup(base))
+	}
+	if s := points[1].Speedup(base); s < 1.7 {
+		t.Fatalf("2-replica speedup %.2fx < 1.7x", s)
+	}
+	if s := points[2].Speedup(base); s < 3.0 {
+		t.Fatalf("4-replica speedup %.2fx < 3.0x", s)
+	}
+}

@@ -82,7 +82,7 @@ func (b *BatchInjector) Report() *BatchReport { return &b.report }
 // real pipeline: the wire cuts the tail, the retry layer replays, and
 // the fan-in scrambles arrival order.
 func (b *BatchInjector) Apply(stream string, runs []perfsim.Run) []perfsim.Run {
-	rng := streamRNG(b.cfg.Seed, stream)
+	rng := StreamRNG(b.cfg.Seed, stream)
 	b.report.Batches++
 	out := perfsim.CloneRuns(runs)
 	if len(out) > 1 && rng.Float64() < b.cfg.TruncateRate {

@@ -137,11 +137,14 @@ func New(cfg Config) (*Injector, error) {
 // Report returns the accumulated injection tally.
 func (inj *Injector) Report() *Report { return &inj.report }
 
-// streamRNG derives the deterministic per-stream RNG: the seed hashed
+// StreamRNG derives the deterministic per-stream RNG: the seed hashed
 // with the stream's identity (e.g. "intel/npb/bt/runs"), so injection
 // outcomes do not depend on which other streams were processed. The
-// campaign and streaming-batch injectors share this derivation.
-func streamRNG(seed uint64, stream string) *randx.RNG {
+// campaign injector, the streaming-batch injector, and the cluster
+// simulation's per-replica latency/outage schedules all share this
+// derivation, which is what lets a single scenario seed fault every
+// stream identically regardless of replica count or request order.
+func StreamRNG(seed uint64, stream string) *randx.RNG {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(stream))
 	return randx.NewPair(seed^h.Sum64(), seed+0x9E3779B97F4A7C15*h.Sum64())
@@ -153,7 +156,7 @@ func streamRNG(seed uint64, stream string) *randx.RNG {
 // benchKey labels the report entries (usually stream minus the
 // trailing set name).
 func (inj *Injector) Apply(stream, benchKey string, runs []perfsim.Run) []perfsim.Run {
-	rng := streamRNG(inj.cfg.Seed, stream)
+	rng := StreamRNG(inj.cfg.Seed, stream)
 	out := make([]perfsim.Run, 0, len(runs))
 	c := inj.cfg
 	for i := range runs {

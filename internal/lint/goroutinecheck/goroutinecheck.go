@@ -17,7 +17,11 @@ import (
 // WaitGroup, bounded by a context's Done channel, or handed a channel
 // join handle — so no goroutine can outlive its owner. In server paths
 // (internal/serve, internal/core) raw goroutines stay forbidden
-// outright: request work fans out through internal/parallel.
+// outright: request work fans out through internal/parallel. The
+// cluster router (internal/cluster) sits in the default class: its
+// hedged attempts and probe loops are allowed goroutines, but each
+// must show its bound (the hedge bodies select on the hedge context's
+// Done; the probe loop is WaitGroup-joined by cmd/varroute).
 var Analyzer = &analysis.Analyzer{
 	Name:    "goroutinecheck",
 	Version: "v1",

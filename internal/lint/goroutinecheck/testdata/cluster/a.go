@@ -1,0 +1,36 @@
+// Package cluster pins the policy for the sharded serving tier:
+// internal/cluster is NOT a server path (the router may spawn hedged
+// attempts) and NOT an exempt substrate — its goroutines must carry a
+// visible lifecycle bound like everyone else's. The hedge shape (a
+// result send raced against the hedge context's cancellation) is the
+// sanctioned pattern.
+package cluster
+
+import "context"
+
+type result struct{ err error }
+
+// hedge is the router's doHedged spawn shape: the body selects between
+// delivering its result and the hedge context's cancellation, so a
+// losing attempt can never block or leak.
+func hedge(ctx context.Context, ch chan result) {
+	go func() {
+		select {
+		case ch <- result{}:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// fireAndForget is what the policy forbids: a probe refresher with no
+// join handle would outlive the router that spawned it.
+func fireAndForget() {
+	go func() { // want "raw goroutine without a visible lifecycle bound"
+		println("probe")
+	}()
+}
+
+var (
+	_ = hedge
+	_ = fireAndForget
+)

@@ -45,6 +45,19 @@ func FingerprintDataset(d *ml.Dataset) uint64 {
 	return h.Sum64()
 }
 
+// DatasetKey renders the stable identity of one model cell — the
+// (use case, system, target) dataset a predictor assembles — exactly
+// as KeySpec.Key embeds it in the content address. It is the routing
+// key of the sharded serving tier: internal/cluster hashes these bytes
+// (FNV-1a) to partition cells across replicas, so a replica that owns
+// a cell also owns every content address derived from it and its
+// model registry stays hot. The rendering is part of the on-disk
+// format contract (a change re-addresses every stored model) and is
+// pinned byte-for-byte by a golden test.
+func DatasetKey(useCase int, system, target string) string {
+	return fmt.Sprintf("uc%d|sys=%s|dst=%s", useCase, system, target)
+}
+
 // KeySpec enumerates everything that determines a fitted model's bits.
 // Key renders it into the content address files are stored under.
 type KeySpec struct {
@@ -69,8 +82,8 @@ type KeySpec struct {
 // bump never reads (or half-trusts) old-layout files.
 func (s KeySpec) Key() string {
 	sum := sha256.Sum256([]byte(fmt.Sprintf(
-		"v%d|uc%d|sys=%s|dst=%s|holdout=%s|model=%s|fp=%016x",
-		FormatVersion, s.UseCase, s.System, s.Target, s.Holdout, s.Model, s.DatasetFP,
+		"v%d|%s|holdout=%s|model=%s|fp=%016x",
+		FormatVersion, DatasetKey(s.UseCase, s.System, s.Target), s.Holdout, s.Model, s.DatasetFP,
 	)))
 	return hex.EncodeToString(sum[:])
 }

@@ -1,0 +1,34 @@
+package obs
+
+// Scope namespaces instrument names under a fixed prefix, so a
+// component that owns a family of per-entity instruments (the cluster
+// router's per-replica counters and latency histograms, for example)
+// can mint them without string-concatenating at every call site. A
+// Scope over a nil registry hands out nil instruments like the
+// registry itself, so optional instrumentation stays branch-free.
+type Scope struct {
+	r      *Registry
+	prefix string
+}
+
+// Scope returns a scope that prefixes every instrument name with
+// prefix (callers include their own separator, e.g. "replica.r0.").
+// Valid on a nil registry.
+func (r *Registry) Scope(prefix string) Scope {
+	return Scope{r: r, prefix: prefix}
+}
+
+// Scope returns a nested scope: the prefixes concatenate.
+func (s Scope) Scope(prefix string) Scope {
+	return Scope{r: s.r, prefix: s.prefix + prefix}
+}
+
+// Counter returns the scoped counter (nil over a nil registry).
+func (s Scope) Counter(name string) *Counter { return s.r.Counter(s.prefix + name) }
+
+// Gauge returns the scoped gauge (nil over a nil registry).
+func (s Scope) Gauge(name string) *Gauge { return s.r.Gauge(s.prefix + name) }
+
+// Histogram returns the scoped latency histogram (nil over a nil
+// registry).
+func (s Scope) Histogram(name string) *LatencyHist { return s.r.Histogram(s.prefix + name) }

@@ -1,0 +1,38 @@
+package obs
+
+import "testing"
+
+func TestScopePrefixesNames(t *testing.T) {
+	reg := NewRegistry()
+	s := reg.Scope("router.").Scope("replica.r0.")
+	s.Counter("requests").Add(3)
+	s.Gauge("state").Set(2)
+	s.Histogram("latency").ObserveMS(5)
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["router.replica.r0.requests"]; got != 3 {
+		t.Fatalf("scoped counter = %d, want 3 (counters: %v)", got, snap.Counters)
+	}
+	if got := snap.Gauges["router.replica.r0.state"]; got != 2 {
+		t.Fatalf("scoped gauge = %v, want 2", got)
+	}
+	if h := snap.Histograms["router.replica.r0.latency"]; h.Count != 1 {
+		t.Fatalf("scoped histogram count = %d, want 1", h.Count)
+	}
+	// The same scope hands back the same instrument.
+	if reg.Scope("router.replica.r0.").Counter("requests") != s.Counter("requests") {
+		t.Fatal("equal scoped names resolved to different instruments")
+	}
+}
+
+func TestScopeNilRegistry(t *testing.T) {
+	var reg *Registry
+	s := reg.Scope("x.")
+	// Everything must be a no-op, not a panic.
+	s.Counter("c").Inc()
+	s.Gauge("g").Set(1)
+	s.Histogram("h").ObserveMS(1)
+	if s.Counter("c") != nil || s.Gauge("g") != nil || s.Histogram("h") != nil {
+		t.Fatal("nil registry scope handed out non-nil instruments")
+	}
+}

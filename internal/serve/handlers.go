@@ -523,16 +523,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if !s.ready.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, readyzBody("draining", 0, s.cfg.ReplicaID))
 		return
 	}
 	// Degraded is still ready: the fallback chain answers requests. The
 	// status string flips so orchestrators (and humans) can see it.
 	if deg := s.pred.Degraded(); deg.BreakersOpen > 0 {
-		writeJSON(w, http.StatusOK, map[string]any{"status": "degraded", "breakers_open": deg.BreakersOpen})
+		writeJSON(w, http.StatusOK, readyzBody("degraded", deg.BreakersOpen, s.cfg.ReplicaID))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	writeJSON(w, http.StatusOK, readyzBody("ready", 0, s.cfg.ReplicaID))
+}
+
+// readyzBody renders the /readyz payload, carrying the shard identity
+// when the server runs as a cluster replica.
+func readyzBody(status string, breakersOpen int, replica string) map[string]any {
+	body := map[string]any{"status": status}
+	if breakersOpen > 0 {
+		body["breakers_open"] = breakersOpen
+	}
+	if replica != "" {
+		body["replica"] = replica
+	}
+	return body
 }
 
 // handleStatus renders the robustness posture: breaker states, the
@@ -541,6 +554,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	deg := s.pred.Degraded()
 	resp := StatusResponse{
 		Status:       "ok",
+		ReplicaID:    s.cfg.ReplicaID,
 		BreakersOpen: deg.BreakersOpen,
 		StaleServed:  deg.StaleServed,
 		KNNServed:    deg.KNNServed,

@@ -25,6 +25,12 @@ import (
 type Config struct {
 	// Addr is the listen address (default ":8080").
 	Addr string
+	// ReplicaID is this server's shard identity in a multi-replica
+	// deployment (varserve's -replica flag): the ID the cluster router
+	// hashes onto its ring. Surfaced in /readyz and /v1/status so the
+	// router (and humans) can confirm which replica answered. Empty
+	// for single-instance serving.
+	ReplicaID string
 	// Workers bounds concurrent predictions (default GOMAXPROCS). A
 	// request that cannot acquire a worker before its deadline gets 503.
 	Workers int

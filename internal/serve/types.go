@@ -185,6 +185,9 @@ type ErrorResponse struct {
 type StatusResponse struct {
 	// Status is "ok", or "degraded" when any breaker is open.
 	Status string `json:"status"`
+	// ReplicaID is the server's shard identity when it runs as a
+	// cluster replica (varserve -replica); empty otherwise.
+	ReplicaID string `json:"replica,omitempty"`
 	// BreakersOpen counts breakers open right now; StaleServed and
 	// KNNServed count predictions answered by each fallback path.
 	BreakersOpen int    `json:"breakers_open"`
